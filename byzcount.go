@@ -1,0 +1,102 @@
+// Package byzcount is the public API of this reproduction of "Network Size
+// Estimation in Small-World Networks under Byzantine Faults" (Chatterjee,
+// Pandurangan, Robinson; IPDPS 2019).
+//
+// The library simulates the paper's synchronous small-world network
+// G = H ∪ L and runs its Byzantine counting protocol: every honest node
+// estimates log₂ n — with n unknown — despite up to O(n^(1−δ))
+// full-information Byzantine nodes.
+//
+// Quick start:
+//
+//	net, _ := byzcount.NewNetwork(byzcount.Params{N: 1024, D: 8, Seed: 1})
+//	res, _ := byzcount.Run(net, nil, nil, byzcount.Config{
+//	    Algorithm: byzcount.AlgorithmByzantine, Seed: 2,
+//	})
+//	sum := byzcount.Summarize(res, byzcount.DefaultBand)
+//	fmt.Println(sum)
+//
+// The deeper layers are importable directly for specialized use:
+// internal/core (protocol), internal/adversary (attack strategies),
+// internal/hgraph (network model), internal/baseline (comparators),
+// internal/spectral (expansion measurement), internal/expt (the
+// experiment suite reproducing the paper's claims).
+package byzcount
+
+import (
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// Re-exported types: the façade keeps example and downstream code on one
+// import while the implementation lives in focused internal packages.
+type (
+	// Params configures network generation (size, degree, lattice radius).
+	Params = hgraph.Params
+	// Network is a generated H ∪ L small-world instance.
+	Network = hgraph.Network
+	// Config parameterizes a protocol run.
+	Config = core.Config
+	// Result is the outcome of a run.
+	Result = core.Result
+	// Adversary drives the Byzantine nodes (full-information model).
+	Adversary = core.Adversary
+	// Summary condenses a Result into the paper's headline quantities.
+	Summary = metrics.Summary
+	// Band is an acceptance interval for estimate/log₂(n) ratios.
+	Band = metrics.Band
+)
+
+// Algorithm selectors.
+const (
+	// AlgorithmBasic is the paper's Algorithm 1 (no Byzantine defenses).
+	AlgorithmBasic = core.AlgorithmBasic
+	// AlgorithmByzantine is the paper's Algorithm 2 (topology exchange +
+	// chain-attestation verification).
+	AlgorithmByzantine = core.AlgorithmByzantine
+)
+
+// DefaultBand is the constant-factor acceptance band used by the
+// experiment suite.
+var DefaultBand = metrics.DefaultBand
+
+// NewNetwork generates a small-world network instance per the paper's
+// model (§2.1): H(n,d) from d/2 random Hamiltonian cycles, plus lattice
+// edges between all pairs within H-distance k = ⌈d/3⌉.
+func NewNetwork(p Params) (*Network, error) { return hgraph.New(p) }
+
+// PlaceByzantine marks `count` uniformly random Byzantine nodes, matching
+// the paper's random-placement fault model. seed controls placement.
+func PlaceByzantine(n, count int, seed uint64) []bool {
+	return hgraph.PlaceByzantine(n, count, rng.New(seed))
+}
+
+// ByzantineBudget returns ⌊n^(1−δ)⌋, the paper's fault budget for a given
+// tolerance exponent δ ∈ (3/d, 1].
+func ByzantineBudget(n int, delta float64) int { return hgraph.ByzantineBudget(n, delta) }
+
+// Run executes one protocol run. byz may be nil (no Byzantine nodes) and
+// adv may be nil (protocol-following Byzantine behavior).
+func Run(net *Network, byz []bool, adv Adversary, cfg Config) (*Result, error) {
+	return core.Run(net, byz, adv, cfg)
+}
+
+// Summarize computes a run's headline metrics under the given band.
+func Summarize(r *Result, band Band) Summary { return metrics.Summarize(r, band) }
+
+// EstimateLogN is the one-call convenience entry point: generate a
+// network of (hidden) size n, run Algorithm 2 with no Byzantine nodes, and
+// return the median honest estimate of log₂ n.
+func EstimateLogN(n int, seed uint64) (float64, error) {
+	net, err := NewNetwork(Params{N: n, D: 8, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	res, err := Run(net, nil, nil, Config{Algorithm: AlgorithmByzantine, Seed: seed + 1})
+	if err != nil {
+		return 0, err
+	}
+	return Summarize(res, DefaultBand).RatioMedian * res.LogN, nil
+}

@@ -1,0 +1,39 @@
+package byzcount
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	net, err := NewNetwork(Params{N: 512, D: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := PlaceByzantine(512, ByzantineBudget(512, 0.75), 2)
+	res, err := Run(net, byz, nil, Config{Algorithm: AlgorithmByzantine, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res, DefaultBand)
+	if sum.CorrectFraction < 0.85 {
+		t.Fatalf("correct fraction %v", sum.CorrectFraction)
+	}
+}
+
+func TestEstimateLogN(t *testing.T) {
+	est, err := EstimateLogN(1024, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN := math.Log2(1024)
+	if est < 0.15*logN || est > 3*logN {
+		t.Fatalf("EstimateLogN(1024) = %v, want within the constant band of %v", est, logN)
+	}
+}
+
+func TestByzantineBudgetAPI(t *testing.T) {
+	if b := ByzantineBudget(4096, 0.75); b != 8 {
+		t.Fatalf("budget = %d, want 8", b)
+	}
+}

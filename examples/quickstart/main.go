@@ -1,0 +1,41 @@
+// Quickstart: estimate the size of a network whose size nobody knows.
+//
+// A 2048-node small-world network is generated, 8 of its nodes are made
+// Byzantine (with the strongest injection strategy), and every honest node
+// runs the paper's Algorithm 2. The program reports how well the honest
+// majority estimated log₂ n.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	byzcount "repro"
+	"repro/internal/adversary"
+)
+
+func main() {
+	const n = 2048
+
+	net, err := byzcount.NewNetwork(byzcount.Params{N: n, D: 8, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	byz := byzcount.PlaceByzantine(n, byzcount.ByzantineBudget(n, 0.75), 43)
+	res, err := byzcount.Run(net, byz, &adversary.Inflate{}, byzcount.Config{
+		Algorithm: byzcount.AlgorithmByzantine,
+		Seed:      44,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sum := byzcount.Summarize(res, byzcount.DefaultBand)
+	fmt.Printf("true log2(n)          : %.2f\n", res.LogN)
+	fmt.Printf("median estimate       : %.2f (ratio %.2f)\n", sum.RatioMedian*res.LogN, sum.RatioMedian)
+	fmt.Printf("honest nodes correct  : %.1f%%\n", 100*sum.CorrectFraction)
+	fmt.Printf("rounds                : %d\n", sum.Rounds)
+	fmt.Printf("largest message       : %d bits\n", sum.MaxMessageBits)
+	fmt.Printf("adversary             : inflate (%d Byzantine nodes)\n", res.ByzantineCount)
+}

@@ -1,0 +1,268 @@
+// Package adversary implements Byzantine strategies for the counting
+// protocol, exercising every attack surface the paper analyzes:
+//
+//   - Inflate: flood enormous, ever-increasing colors every round. Against
+//     Algorithm 1 this keeps every honest node active forever (the
+//     full-information adversary times arrivals to hit the final round of
+//     each subphase at every distance). Against Algorithm 2, chain
+//     attestation confines acceptance to rounds 1..k−1 (Lemma 16), so the
+//     attack only delays termination by O(k) phases for o(n) nodes.
+//
+//   - Suppress: total silence — never forward, never attest. Models
+//     crash-like behaviour plus refusal to cooperate in verification.
+//
+//   - TopologyLiar: the Figure 1 attack — hide a real H-child and invent a
+//     fake one during the exchange. Lemma 15: victims crash rather than
+//     being fooled.
+//
+//   - ChainFaker: inject high colors only in rounds ≥ k, attesting to
+//     fabricated provenance chains. Observation 6 makes all-Byzantine
+//     chains of length k vanishingly rare, so (w.h.p.) nothing is accepted.
+//
+//   - Combo: TopologyLiar's exchange lies plus Inflate's floods.
+//
+// All strategies honor the Adversary concurrency contract: Send is latched
+// serially by the engine; Attest is pure.
+package adversary
+
+import (
+	"repro/internal/core"
+)
+
+// InjectBase is the color floor used by injecting strategies; any honest
+// node observed holding a color >= InjectBase has accepted Byzantine input.
+const InjectBase = int64(1) << 30
+
+// Inflate floods strictly increasing huge colors on every edge, every
+// round, and attests to anything. The increasing values make every arrival
+// "fresh", which is what keeps Algorithm 1 nodes alive forever.
+type Inflate struct {
+	// MaxRound limits injection to subphase rounds 1..MaxRound
+	// (0 = no limit). ChainFaker uses the complementary window.
+	MaxRound int
+	counter  int64
+}
+
+// Name implements core.Adversary.
+func (a *Inflate) Name() string { return "inflate" }
+
+// Init implements core.Adversary.
+func (a *Inflate) Init(*core.World) { a.counter = 0 }
+
+// ClaimHNeighbors implements core.Adversary: truthful topology.
+func (a *Inflate) ClaimHNeighbors(*core.World, int, int) []int32 { return nil }
+
+// SubphaseStart implements core.Adversary.
+func (a *Inflate) SubphaseStart(*core.World) { a.counter++ }
+
+// value returns the injection color for round t of the current subphase:
+// strictly increasing across subphases and across rounds within one.
+func (a *Inflate) value(t int) int64 {
+	return InjectBase + a.counter*1024 + int64(t)
+}
+
+// Send implements core.Adversary.
+func (a *Inflate) Send(w *core.World, b, v, t int) int64 {
+	if a.MaxRound > 0 && t > a.MaxRound {
+		return w.Held(b)
+	}
+	return a.value(t)
+}
+
+// Attest implements core.Adversary: vouch for everything.
+func (a *Inflate) Attest(*core.World, int, int, int64, int) bool { return true }
+
+// Suppress is total silence: no floods, no attestations, truthful topology.
+type Suppress struct{}
+
+// Name implements core.Adversary.
+func (Suppress) Name() string { return "suppress" }
+
+// Init implements core.Adversary.
+func (Suppress) Init(*core.World) {}
+
+// ClaimHNeighbors implements core.Adversary.
+func (Suppress) ClaimHNeighbors(*core.World, int, int) []int32 { return nil }
+
+// SubphaseStart implements core.Adversary.
+func (Suppress) SubphaseStart(*core.World) {}
+
+// Send implements core.Adversary: silence.
+func (Suppress) Send(*core.World, int, int, int) int64 { return 0 }
+
+// Attest implements core.Adversary: deny everything.
+func (Suppress) Attest(*core.World, int, int, int64, int) bool { return false }
+
+// TopologyLiar performs the Figure 1 exchange attack: every Byzantine node
+// reports an adjacency list with one real neighbor hidden and a fake child
+// inserted. The hidden honest neighbor's own truthful report contradicts
+// the lie, so every honest node that can hear both crashes (Lemma 15).
+// Otherwise the liar follows the protocol.
+type TopologyLiar struct{}
+
+// Name implements core.Adversary.
+func (TopologyLiar) Name() string { return "topology-liar" }
+
+// Init implements core.Adversary.
+func (TopologyLiar) Init(*core.World) {}
+
+// ClaimHNeighbors implements core.Adversary.
+func (TopologyLiar) ClaimHNeighbors(w *core.World, b, v int) []int32 {
+	truth := w.Net.H.Neighbors(b)
+	claim := append([]int32(nil), truth...)
+	// Insert a fake child: prefer another Byzantine node (a consistent
+	// co-conspirator), else any node, in place of the first real neighbor.
+	fake := int32(b) // fallback: a self-claim is still a lie
+	for _, other := range w.ByzantineNodes() {
+		if int(other) != b {
+			fake = other
+			break
+		}
+	}
+	claim[0] = fake
+	return claim
+}
+
+// SubphaseStart implements core.Adversary.
+func (TopologyLiar) SubphaseStart(*core.World) {}
+
+// Send implements core.Adversary: otherwise protocol-following.
+func (TopologyLiar) Send(w *core.World, b, v, t int) int64 { return w.Held(b) }
+
+// Attest implements core.Adversary: truthful attestation.
+func (TopologyLiar) Attest(w *core.World, b, v int, c int64, r int) bool {
+	return w.HeldLogAt(b, r) >= c
+}
+
+// ChainFaker injects huge colors only in rounds >= k, backed by
+// attest-everything: the pure mid-subphase fabrication attack that chain
+// verification must reject (Lemma 16). Topology reports are truthful.
+type ChainFaker struct {
+	inner Inflate
+}
+
+// Name implements core.Adversary.
+func (a *ChainFaker) Name() string { return "chain-faker" }
+
+// Init implements core.Adversary.
+func (a *ChainFaker) Init(w *core.World) { a.inner.Init(w) }
+
+// ClaimHNeighbors implements core.Adversary.
+func (a *ChainFaker) ClaimHNeighbors(*core.World, int, int) []int32 { return nil }
+
+// SubphaseStart implements core.Adversary.
+func (a *ChainFaker) SubphaseStart(w *core.World) { a.inner.SubphaseStart(w) }
+
+// Send implements core.Adversary: inject only at rounds >= k, behave
+// honestly before that.
+func (a *ChainFaker) Send(w *core.World, b, v, t int) int64 {
+	if t < w.Net.K {
+		return w.Held(b)
+	}
+	return a.inner.value(t)
+}
+
+// Attest implements core.Adversary: vouch for everything, including the
+// fabricated chains.
+func (a *ChainFaker) Attest(*core.World, int, int, int64, int) bool { return true }
+
+// Oracle demonstrates the full-information model at its sharpest: at every
+// subphase start it reads every honest node's freshly drawn color (the
+// adversary sees all coins, §2.1), identifies the global maximum, and then
+// selectively suppresses exactly that value — relaying everything else
+// faithfully and refusing to attest for the max. This is the most surgical
+// suppression available to Byzantine nodes; the expander's redundant paths
+// are what defeat it.
+type Oracle struct {
+	subphaseMax int64
+}
+
+// Name implements core.Adversary.
+func (a *Oracle) Name() string { return "oracle" }
+
+// Init implements core.Adversary.
+func (a *Oracle) Init(*core.World) { a.subphaseMax = 0 }
+
+// ClaimHNeighbors implements core.Adversary: truthful topology.
+func (a *Oracle) ClaimHNeighbors(*core.World, int, int) []int32 { return nil }
+
+// SubphaseStart implements core.Adversary: read everyone's coins.
+func (a *Oracle) SubphaseStart(w *core.World) {
+	a.subphaseMax = 0
+	for v := 0; v < w.N(); v++ {
+		if c := w.OwnColor(v); c > a.subphaseMax {
+			a.subphaseMax = c
+		}
+	}
+}
+
+// Send implements core.Adversary: relay the held value unless it IS the
+// subphase's true maximum, which is silently dropped.
+func (a *Oracle) Send(w *core.World, b, v, t int) int64 {
+	held := w.Held(b)
+	if held >= a.subphaseMax && a.subphaseMax > 0 {
+		// Send the best value strictly below the max that b has seen: its
+		// own color (bookkeeping keeps only the max, so approximate with
+		// silence — suppression of the top value).
+		return 0
+	}
+	return held
+}
+
+// Attest implements core.Adversary: refuse to vouch for the max, answer
+// honestly otherwise.
+func (a *Oracle) Attest(w *core.World, b, v int, c int64, r int) bool {
+	if c >= a.subphaseMax && a.subphaseMax > 0 {
+		return false
+	}
+	return w.HeldLogAt(b, r) >= c
+}
+
+// Combo layers TopologyLiar's exchange lies over Inflate's floods.
+type Combo struct {
+	liar    TopologyLiar
+	inflate Inflate
+}
+
+// Name implements core.Adversary.
+func (a *Combo) Name() string { return "combo" }
+
+// Init implements core.Adversary.
+func (a *Combo) Init(w *core.World) { a.inflate.Init(w) }
+
+// ClaimHNeighbors implements core.Adversary.
+func (a *Combo) ClaimHNeighbors(w *core.World, b, v int) []int32 {
+	return a.liar.ClaimHNeighbors(w, b, v)
+}
+
+// SubphaseStart implements core.Adversary.
+func (a *Combo) SubphaseStart(w *core.World) { a.inflate.SubphaseStart(w) }
+
+// Send implements core.Adversary.
+func (a *Combo) Send(w *core.World, b, v, t int) int64 { return a.inflate.Send(w, b, v, t) }
+
+// Attest implements core.Adversary.
+func (a *Combo) Attest(*core.World, int, int, int64, int) bool { return true }
+
+// All returns one instance of every strategy, including the honest null
+// strategy, for experiment sweeps.
+func All() []core.Adversary {
+	return []core.Adversary{
+		core.HonestAdversary{},
+		&Inflate{},
+		Suppress{},
+		&Oracle{},
+		TopologyLiar{},
+		&ChainFaker{},
+		&Combo{},
+	}
+}
+
+var (
+	_ core.Adversary = (*Inflate)(nil)
+	_ core.Adversary = Suppress{}
+	_ core.Adversary = (*Oracle)(nil)
+	_ core.Adversary = TopologyLiar{}
+	_ core.Adversary = (*ChainFaker)(nil)
+	_ core.Adversary = (*Combo)(nil)
+)

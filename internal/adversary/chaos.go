@@ -1,0 +1,67 @@
+package adversary
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Chaos drives Byzantine nodes with seeded random behaviour across the
+// whole attack surface: random colors (occasionally huge), random
+// attestation answers, and randomly perturbed topology claims. It is not a
+// clever strategy — it exists for failure-injection testing: whatever a
+// confused or arbitrarily faulty implementation might emit, the protocol
+// engine must neither panic nor violate its invariants.
+type Chaos struct {
+	Seed uint64
+	src  *rng.Source
+}
+
+// Name implements core.Adversary.
+func (c *Chaos) Name() string { return "chaos" }
+
+// Init implements core.Adversary.
+func (c *Chaos) Init(*core.World) { c.src = rng.New(c.Seed ^ 0xC4A05) }
+
+// ClaimHNeighbors implements core.Adversary: half the time truthful, half
+// the time the claim has one entry replaced by a random node (which may be
+// a phantom, a duplicate, or an accidental truth).
+func (c *Chaos) ClaimHNeighbors(w *core.World, b, v int) []int32 {
+	if c.src.Bool() {
+		return nil
+	}
+	truth := w.Net.H.Neighbors(b)
+	claim := append([]int32(nil), truth...)
+	claim[c.src.Intn(len(claim))] = int32(c.src.Intn(w.N()))
+	return claim
+}
+
+// SubphaseStart implements core.Adversary.
+func (c *Chaos) SubphaseStart(*core.World) {}
+
+// Send implements core.Adversary: silence, echo, a small random color, or
+// a huge one — picked at random per edge per round.
+func (c *Chaos) Send(w *core.World, b, v, t int) int64 {
+	switch c.src.Intn(4) {
+	case 0:
+		return 0
+	case 1:
+		return w.Held(b)
+	case 2:
+		return int64(1 + c.src.Intn(64))
+	default:
+		return InjectBase + int64(c.src.Intn(1<<20))
+	}
+}
+
+// Attest implements core.Adversary. It must be pure (called concurrently),
+// so the answer is a deterministic hash of the query rather than a stream
+// draw.
+func (c *Chaos) Attest(w *core.World, b, v int, col int64, r int) bool {
+	h := uint64(b)*0x9e3779b97f4a7c15 ^ uint64(v)*0xbf58476d1ce4e5b9 ^
+		uint64(col)*0x94d049bb133111eb ^ uint64(r) ^ c.Seed
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	return h&1 == 1
+}
+
+var _ core.Adversary = (*Chaos)(nil)

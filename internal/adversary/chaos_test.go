@@ -1,0 +1,100 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestChaosInvariants is the failure-injection suite: whatever random
+// garbage the Byzantine nodes emit, the engine must terminate cleanly with
+// a consistent result.
+func TestChaosInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		net := testNet(t, 512, 100+seed)
+		byz := placeByz(512, 6, 200+seed)
+		res, err := core.Run(net, byz, &Chaos{Seed: seed}, core.Config{
+			Algorithm: core.AlgorithmByzantine,
+			Seed:      300 + seed,
+			MaxPhase:  12,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Partition: every node is exactly one of byzantine / crashed /
+		// decided / undecided.
+		decided := 0
+		for v := 0; v < res.N; v++ {
+			switch {
+			case res.Byzantine[v]:
+				if res.Crashed[v] {
+					t.Fatalf("seed %d: byzantine node %d crashed", seed, v)
+				}
+			case res.Crashed[v]:
+			case res.Estimates[v] > 0:
+				decided++
+				if int(res.Estimates[v]) > 12 {
+					t.Fatalf("seed %d: estimate %d exceeds MaxPhase", seed, res.Estimates[v])
+				}
+			}
+		}
+		if got := res.HonestCount - res.CrashedCount - res.UndecidedCount; got != decided {
+			t.Fatalf("seed %d: partition inconsistent: %d vs %d", seed, got, decided)
+		}
+		if res.Rounds <= 0 || res.Messages <= 0 {
+			t.Fatalf("seed %d: empty run", seed)
+		}
+	}
+}
+
+// Chaos runs must be reproducible bit-for-bit.
+func TestChaosDeterministic(t *testing.T) {
+	net := testNet(t, 256, 401)
+	byz := placeByz(256, 4, 402)
+	run := func() *core.Result {
+		res, err := core.Run(net, byz, &Chaos{Seed: 9}, core.Config{
+			Algorithm: core.AlgorithmByzantine, Seed: 403, MaxPhase: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds || a.CrashedCount != b.CrashedCount {
+		t.Fatal("chaos run not reproducible")
+	}
+	for v := range a.Estimates {
+		if a.Estimates[v] != b.Estimates[v] {
+			t.Fatal("chaos estimates not reproducible")
+		}
+	}
+}
+
+// Against Algorithm 1 the chaos injections (which include huge colors
+// every round) keep most nodes alive — the unprotected algorithm fails
+// even against unstructured noise.
+func TestChaosBreaksAlgorithm1(t *testing.T) {
+	net := testNet(t, 512, 405)
+	byz := placeByz(512, 6, 406)
+	res, err := core.Run(net, byz, &Chaos{Seed: 11}, core.Config{
+		Algorithm: core.AlgorithmBasic, Seed: 407, MaxPhase: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chaos is noise, not a targeted schedule, so it keeps fewer victims
+	// alive than Inflate — but even noise visibly breaks the unprotected
+	// algorithm.
+	if res.UndecidedCount < res.HonestCount/10 {
+		t.Fatalf("only %d/%d undecided under chaos against Algorithm 1",
+			res.UndecidedCount, res.HonestCount)
+	}
+}
+
+func TestChaosName(t *testing.T) {
+	if (&Chaos{}).Name() != "chaos" {
+		t.Fatal("name")
+	}
+}

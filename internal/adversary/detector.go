@@ -1,0 +1,61 @@
+package adversary
+
+import "repro/internal/core"
+
+// Detector is a core.Observer that watches for honest nodes accepting
+// Byzantine-injected colors (values >= Threshold). It records, per subphase
+// round, how many honest nodes first held an injected color at that round —
+// the empirical version of Lemma 16's claim that acceptance can only occur
+// in rounds 1..k−1.
+type Detector struct {
+	Threshold int64
+	// AcceptedAtRound[t] counts honest nodes whose held color first
+	// crossed Threshold at subphase round t.
+	AcceptedAtRound map[int]int
+	// TotalAccepted counts (node, subphase) acceptance events.
+	TotalAccepted int
+	seen          []bool
+}
+
+// NewDetector returns a Detector using InjectBase as the threshold.
+func NewDetector() *Detector {
+	return &Detector{Threshold: InjectBase, AcceptedAtRound: make(map[int]int)}
+}
+
+// RoundEnd implements core.Observer.
+func (d *Detector) RoundEnd(w *core.World) {
+	n := w.N()
+	if d.seen == nil || len(d.seen) != n {
+		d.seen = make([]bool, n)
+	}
+	if w.Clock.Round == 1 {
+		for i := range d.seen {
+			d.seen[i] = false
+		}
+	}
+	for v := 0; v < n; v++ {
+		if w.Byz[v] || w.IsCrashed(v) || d.seen[v] {
+			continue
+		}
+		if w.Held(v) >= d.Threshold {
+			d.seen[v] = true
+			d.AcceptedAtRound[w.Clock.Round]++
+			d.TotalAccepted++
+		}
+	}
+}
+
+// MaxAcceptRound returns the largest subphase round at which any honest
+// node accepted an injected color (0 if none ever did). Lemma 16 predicts
+// MaxAcceptRound <= k−1 under Algorithm 2.
+func (d *Detector) MaxAcceptRound() int {
+	max := 0
+	for t := range d.AcceptedAtRound {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+var _ core.Observer = (*Detector)(nil)

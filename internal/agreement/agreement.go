@@ -1,0 +1,163 @@
+// Package agreement demonstrates the paper's motivating use of Byzantine
+// counting as a building block (§1: "an efficient protocol for the
+// Byzantine counting problem can serve as a pre-processing step for
+// protocols for Byzantine agreement, leader election and other problems
+// that either require or assume knowledge of an estimate of n").
+//
+// The downstream task here is almost-everywhere binary consensus by
+// iterated local majority on the expander H: every honest node starts with
+// a bit, repeatedly adopts the majority bit of its neighborhood, and —
+// crucially — must run for Θ(log n) rounds to let the global majority
+// sweep the graph. Without an estimate of n there is no principled round
+// budget; with the counting protocol's estimate there is.
+//
+// This is a demonstration of composition, not a reproduction of an
+// agreement paper: iterated majority on expanders converges almost
+// everywhere w.h.p. when the initial bias is nontrivial and the Byzantine
+// fraction is small, which is the regime exercised here.
+package agreement
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Config parameterizes a majority-consensus run.
+type Config struct {
+	// Rounds is the round budget. The intended source is
+	// core.Result estimates: a constant multiple of the counting
+	// protocol's log-n estimate (see RoundsFromEstimate).
+	Rounds int
+	// Seed drives tie-breaking coins.
+	Seed uint64
+}
+
+// RoundsFromEstimate converts a counting estimate of log n into a majority
+// round budget. Majority dynamics on a spectral expander contracts the
+// minority by a constant factor per round, so c·log n rounds suffice; c=4
+// is comfortable for the λ ≈ 0.66 of H(n,8).
+func RoundsFromEstimate(logNEstimate int) int {
+	if logNEstimate < 1 {
+		logNEstimate = 1
+	}
+	return 4 * logNEstimate
+}
+
+// Result reports a consensus run.
+type Result struct {
+	// Bits is the final bit of every node (Byzantine nodes report their
+	// scripted bit).
+	Bits []bool
+	// AgreeFraction is the fraction of honest nodes holding the majority
+	// final bit.
+	AgreeFraction float64
+	// AgreeWithInitial is the fraction of honest nodes whose final bit
+	// matches the initial honest majority.
+	AgreeWithInitial float64
+	Rounds           int
+}
+
+// Run executes iterated local majority on h. initial holds every node's
+// starting bit; byz marks Byzantine nodes, which always push the value
+// minority (the strongest symmetric strategy for majority dynamics).
+func Run(h *graph.Graph, initial []bool, byz []bool, cfg Config) (*Result, error) {
+	n := h.N()
+	if len(initial) != n {
+		return nil, fmt.Errorf("agreement: initial length %d != n %d", len(initial), n)
+	}
+	if byz != nil && len(byz) != n {
+		return nil, fmt.Errorf("agreement: byz length %d != n %d", len(byz), n)
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("agreement: non-positive round budget %d", cfg.Rounds)
+	}
+
+	isByz := func(v int) bool { return byz != nil && byz[v] }
+
+	// The initial honest majority is what consensus should converge to.
+	initialMajority := honestMajority(initial, byz)
+
+	cur := append([]bool(nil), initial...)
+	next := make([]bool, n)
+	src := rng.New(cfg.Seed)
+	for round := 0; round < cfg.Rounds; round++ {
+		// Byzantine nodes see the current honest counts and push the
+		// minority (full information).
+		minority := !honestMajority(cur, byz)
+		for v := 0; v < n; v++ {
+			if isByz(v) {
+				next[v] = minority
+				continue
+			}
+			ones, total := 0, 1
+			if cur[v] {
+				ones++
+			}
+			for _, u := range h.Neighbors(v) {
+				total++
+				if cur[u] {
+					ones++
+				}
+			}
+			switch {
+			case 2*ones > total:
+				next[v] = true
+			case 2*ones < total:
+				next[v] = false
+			default:
+				next[v] = src.Bool() // tie-break with a private coin
+			}
+		}
+		cur, next = next, cur
+	}
+
+	res := &Result{Bits: append([]bool(nil), cur...), Rounds: cfg.Rounds}
+	finalMajority := honestMajority(cur, byz)
+	agree, withInitial, honest := 0, 0, 0
+	for v := 0; v < n; v++ {
+		if isByz(v) {
+			continue
+		}
+		honest++
+		if cur[v] == finalMajority {
+			agree++
+		}
+		if cur[v] == initialMajority {
+			withInitial++
+		}
+	}
+	if honest > 0 {
+		res.AgreeFraction = float64(agree) / float64(honest)
+		res.AgreeWithInitial = float64(withInitial) / float64(honest)
+	}
+	return res, nil
+}
+
+// honestMajority returns the majority bit among honest nodes (true wins
+// ties).
+func honestMajority(bits []bool, byz []bool) bool {
+	ones, total := 0, 0
+	for v, b := range bits {
+		if byz != nil && byz[v] {
+			continue
+		}
+		total++
+		if b {
+			ones++
+		}
+	}
+	return 2*ones >= total
+}
+
+// BiasedInitial returns a random bit vector with the given fraction of
+// ones among all nodes.
+func BiasedInitial(n int, onesFraction float64, src *rng.Source) []bool {
+	bits := make([]bool, n)
+	ones := int(onesFraction * float64(n))
+	for _, v := range src.Sample(n, ones) {
+		bits[v] = true
+	}
+	return bits
+}

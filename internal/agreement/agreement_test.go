@@ -1,0 +1,122 @@
+package agreement
+
+import (
+	"testing"
+
+	"repro/internal/hgraph"
+	"repro/internal/rng"
+)
+
+func testH(t testing.TB, n int, seed uint64) *hgraph.Network {
+	t.Helper()
+	net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestMajorityConvergesWithBias(t *testing.T) {
+	net := testH(t, 1024, 1)
+	initial := BiasedInitial(1024, 0.65, rng.New(2))
+	res, err := Run(net.H, initial, nil, Config{Rounds: RoundsFromEstimate(10), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AgreeFraction < 0.99 {
+		t.Fatalf("agreement fraction %v", res.AgreeFraction)
+	}
+	if res.AgreeWithInitial < 0.99 {
+		t.Fatalf("converged away from the initial majority: %v", res.AgreeWithInitial)
+	}
+}
+
+func TestMajoritySurvivesByzantineMinorityPushers(t *testing.T) {
+	net := testH(t, 1024, 5)
+	initial := BiasedInitial(1024, 0.70, rng.New(6))
+	byz := hgraph.PlaceByzantine(1024, 10, rng.New(7))
+	res, err := Run(net.H, initial, byz, Config{Rounds: RoundsFromEstimate(10), Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Almost-everywhere agreement: isolated pockets near Byzantine nodes
+	// may hold out, the bulk agrees with the initial majority.
+	if res.AgreeWithInitial < 0.95 {
+		t.Fatalf("agreement with initial majority %v", res.AgreeWithInitial)
+	}
+}
+
+func TestTooFewRoundsFailsToConverge(t *testing.T) {
+	// The motivating point: without a log-n-scaled round budget the
+	// dynamics stop short. One round cannot finish the sweep.
+	net := testH(t, 4096, 9)
+	initial := BiasedInitial(4096, 0.55, rng.New(10))
+	short, err := Run(net.H, initial, nil, Config{Rounds: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Run(net.H, initial, nil, Config{Rounds: RoundsFromEstimate(12), Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.AgreeFraction >= long.AgreeFraction {
+		t.Fatalf("1 round (%v) should agree less than %d rounds (%v)",
+			short.AgreeFraction, long.Rounds, long.AgreeFraction)
+	}
+	if long.AgreeFraction < 0.99 {
+		t.Fatalf("full budget agreement %v", long.AgreeFraction)
+	}
+}
+
+func TestRoundsFromEstimate(t *testing.T) {
+	if r := RoundsFromEstimate(10); r != 40 {
+		t.Fatalf("rounds = %d", r)
+	}
+	if r := RoundsFromEstimate(0); r != 4 {
+		t.Fatalf("rounds for degenerate estimate = %d", r)
+	}
+}
+
+func TestBiasedInitial(t *testing.T) {
+	bits := BiasedInitial(1000, 0.3, rng.New(13))
+	ones := 0
+	for _, b := range bits {
+		if b {
+			ones++
+		}
+	}
+	if ones != 300 {
+		t.Fatalf("ones = %d, want 300", ones)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	net := testH(t, 64, 15)
+	if _, err := Run(net.H, make([]bool, 3), nil, Config{Rounds: 4}); err == nil {
+		t.Fatal("bad initial length accepted")
+	}
+	if _, err := Run(net.H, make([]bool, 64), make([]bool, 3), Config{Rounds: 4}); err == nil {
+		t.Fatal("bad byz length accepted")
+	}
+	if _, err := Run(net.H, make([]bool, 64), nil, Config{Rounds: 0}); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	net := testH(t, 256, 17)
+	initial := BiasedInitial(256, 0.6, rng.New(18))
+	a, err := Run(net.H, initial, nil, Config{Rounds: 20, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(net.H, initial, nil, Config{Rounds: 20, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Bits {
+		if a.Bits[i] != b.Bits[i] {
+			t.Fatal("non-deterministic run")
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package agreement
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// election.go demonstrates the paper's second named downstream task.
+// Footnote 5 of the paper observes that an honest leader makes counting
+// easy (flood and time the wavefront) — and conversely that electing a
+// leader without knowing n "appears to be a hard problem in the Byzantine
+// setting". Min-ID flooding needs a round budget of Θ(log n) (again: the
+// counting estimate), and is trivially hijacked by a Byzantine node faking
+// a minimal ID — both facts are measurable here.
+
+// ElectionResult reports a min-ID flooding election.
+type ElectionResult struct {
+	// LeaderOf[v] is the ID node v believes won.
+	LeaderOf []uint64
+	// AgreeFraction is the fraction of honest nodes agreeing on the
+	// modal winner.
+	AgreeFraction float64
+	// WinnerByzantine reports whether the modal winner is a Byzantine
+	// node's (possibly faked) ID.
+	WinnerByzantine bool
+	Rounds          int
+}
+
+// ElectLeader floods the minimum ID for the given number of rounds. ids
+// must be distinct and nonzero. If fakeID is nonzero, every Byzantine node
+// floods fakeID instead of its own (the trivial hijack).
+func ElectLeader(h *graph.Graph, ids []uint64, byz []bool, fakeID uint64, rounds int) (*ElectionResult, error) {
+	n := h.N()
+	if len(ids) != n {
+		return nil, fmt.Errorf("agreement: ids length %d != n %d", len(ids), n)
+	}
+	if byz != nil && len(byz) != n {
+		return nil, fmt.Errorf("agreement: byz length %d != n %d", len(byz), n)
+	}
+	if rounds <= 0 {
+		return nil, fmt.Errorf("agreement: non-positive round budget %d", rounds)
+	}
+	isByz := func(v int) bool { return byz != nil && byz[v] }
+
+	cur := make([]uint64, n)
+	next := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		if isByz(v) && fakeID != 0 {
+			cur[v] = fakeID
+		} else {
+			cur[v] = ids[v]
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		for v := 0; v < n; v++ {
+			best := cur[v]
+			for _, u := range h.Neighbors(v) {
+				if cur[u] < best {
+					best = cur[u]
+				}
+			}
+			if isByz(v) && fakeID != 0 {
+				best = fakeID
+			}
+			next[v] = best
+		}
+		cur, next = next, cur
+	}
+
+	res := &ElectionResult{LeaderOf: append([]uint64(nil), cur...), Rounds: rounds}
+	counts := map[uint64]int{}
+	honest := 0
+	for v := 0; v < n; v++ {
+		if isByz(v) {
+			continue
+		}
+		honest++
+		counts[cur[v]]++
+	}
+	var modal uint64
+	for id, c := range counts {
+		if c > counts[modal] {
+			modal = id
+		}
+	}
+	if honest > 0 {
+		res.AgreeFraction = float64(counts[modal]) / float64(honest)
+	}
+	if fakeID != 0 && modal == fakeID {
+		res.WinnerByzantine = true
+	} else {
+		for v := 0; v < n; v++ {
+			if isByz(v) && ids[v] == modal {
+				res.WinnerByzantine = true
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package agreement
+
+import (
+	"testing"
+
+	"repro/internal/hgraph"
+	"repro/internal/rng"
+)
+
+func TestElectionHonestConverges(t *testing.T) {
+	net := testH(t, 1024, 21)
+	ids := hgraph.AssignIDs(1024, rng.New(22))
+	res, err := ElectLeader(net.H, ids, nil, 0, RoundsFromEstimate(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AgreeFraction != 1 {
+		t.Fatalf("agreement %v, want 1", res.AgreeFraction)
+	}
+	// The winner is the global minimum ID.
+	min := ids[0]
+	for _, id := range ids {
+		if id < min {
+			min = id
+		}
+	}
+	if res.LeaderOf[0] != min {
+		t.Fatalf("winner %d, want %d", res.LeaderOf[0], min)
+	}
+	if res.WinnerByzantine {
+		t.Fatal("honest election flagged byzantine winner")
+	}
+}
+
+func TestElectionTooFewRounds(t *testing.T) {
+	net := testH(t, 4096, 23)
+	ids := hgraph.AssignIDs(4096, rng.New(24))
+	short, err := ElectLeader(net.H, ids, nil, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.AgreeFraction > 0.5 {
+		t.Fatalf("1-round election agreed %v — should be far from consensus", short.AgreeFraction)
+	}
+}
+
+// The paper's point: a single Byzantine node hijacks min-ID election by
+// faking the smallest ID, which is why leader-election-first approaches to
+// counting do not work.
+func TestElectionHijackedByByzantine(t *testing.T) {
+	net := testH(t, 1024, 25)
+	ids := hgraph.AssignIDs(1024, rng.New(26))
+	byz := hgraph.PlaceByzantine(1024, 1, rng.New(27))
+	res, err := ElectLeader(net.H, ids, byz, 1, RoundsFromEstimate(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WinnerByzantine {
+		t.Fatal("byzantine fake minimal ID did not win")
+	}
+	if res.AgreeFraction != 1 {
+		t.Fatalf("hijack should still converge everyone: %v", res.AgreeFraction)
+	}
+}
+
+func TestElectionValidation(t *testing.T) {
+	net := testH(t, 64, 29)
+	ids := hgraph.AssignIDs(64, rng.New(30))
+	if _, err := ElectLeader(net.H, ids[:3], nil, 0, 5); err == nil {
+		t.Fatal("bad ids length accepted")
+	}
+	if _, err := ElectLeader(net.H, ids, make([]bool, 3), 0, 5); err == nil {
+		t.Fatal("bad byz length accepted")
+	}
+	if _, err := ElectLeader(net.H, ids, nil, 0, 0); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}

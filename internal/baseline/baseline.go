@@ -1,0 +1,214 @@
+// Package baseline implements the size-estimation protocols the paper uses
+// as motivation and comparison (§1.2, §1.3), none of which tolerate even a
+// single Byzantine node:
+//
+//   - GeoMax: the geometric-distribution max-flooding protocol of §1.2.
+//     Every node draws a Geometric(1/2) color and the network floods the
+//     maximum; the global max is a constant-factor estimate of log n w.h.p.
+//     A single Byzantine node faking a huge color corrupts every estimate.
+//
+//   - SupportEstimation: the exponential-distribution support estimation of
+//     [Augustine et al., SODA'12]: flood coordinate-wise minima of s
+//     exponentials; n̂ = (s−1)/Σ minima. A Byzantine node injecting zeros
+//     drives every estimate to infinity.
+//
+//   - TreeCount: exact counting by BFS-tree convergecast, given an oracle
+//     leader (the paper notes leader election under Byzantine faults is
+//     itself as hard as counting). A Byzantine node inflates its subtree
+//     count arbitrarily.
+//
+// Each function takes explicit Byzantine interference parameters so the
+// experiments can show the failure mode quantitatively.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Outcome reports a baseline run.
+type Outcome struct {
+	// EstimateLog[v] is node v's estimate of log₂ n.
+	EstimateLog []float64
+	// Rounds is the number of synchronous rounds used.
+	Rounds int
+}
+
+// GeoMax runs the §1.2 protocol on h. byz marks Byzantine nodes and inject
+// is the fake color they flood (0 = behave honestly). Flooding runs until
+// quiescence (bounded by n rounds).
+func GeoMax(h *graph.Graph, byz []bool, inject int64, seed uint64) *Outcome {
+	n := h.N()
+	cur := make([]int64, n)
+	next := make([]int64, n)
+	for v := 0; v < n; v++ {
+		if byz != nil && byz[v] && inject > 0 {
+			cur[v] = inject
+		} else {
+			cur[v] = int64(rng.Split(seed, uint64(v)).Geometric())
+		}
+	}
+	rounds := 0
+	for ; rounds < n; rounds++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			best := cur[v]
+			for _, w := range h.Neighbors(v) {
+				if cur[w] > best {
+					best = cur[w]
+				}
+			}
+			if byz != nil && byz[v] && inject > 0 {
+				best = inject // Byzantine nodes keep pushing the fake
+			}
+			if best != cur[v] {
+				changed = true
+			}
+			next[v] = best
+		}
+		cur, next = next, cur
+		if !changed {
+			break
+		}
+	}
+	out := &Outcome{EstimateLog: make([]float64, n), Rounds: rounds}
+	for v := 0; v < n; v++ {
+		out.EstimateLog[v] = float64(cur[v])
+	}
+	return out
+}
+
+// SupportEstimation runs exponential support estimation with s repetitions.
+// Byzantine nodes inject near-zero minima when sabotage is true.
+func SupportEstimation(h *graph.Graph, byz []bool, s int, sabotage bool, seed uint64) *Outcome {
+	if s < 2 {
+		panic("baseline: support estimation needs s >= 2")
+	}
+	n := h.N()
+	cur := make([][]float64, n)
+	next := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		src := rng.Split(seed, uint64(v))
+		vec := make([]float64, s)
+		for j := range vec {
+			if byz != nil && byz[v] && sabotage {
+				vec[j] = 1e-12
+			} else {
+				vec[j] = src.Exp()
+			}
+		}
+		cur[v] = vec
+		next[v] = make([]float64, s)
+	}
+	rounds := 0
+	for ; rounds < n; rounds++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			copy(next[v], cur[v])
+			for _, w := range h.Neighbors(v) {
+				for j := 0; j < s; j++ {
+					if cur[w][j] < next[v][j] {
+						next[v][j] = cur[w][j]
+					}
+				}
+			}
+			for j := 0; j < s; j++ {
+				if next[v][j] != cur[v][j] {
+					changed = true
+					break
+				}
+			}
+		}
+		cur, next = next, cur
+		if !changed {
+			break
+		}
+	}
+	out := &Outcome{EstimateLog: make([]float64, n), Rounds: rounds}
+	for v := 0; v < n; v++ {
+		sum := 0.0
+		for _, m := range cur[v] {
+			sum += m
+		}
+		nHat := float64(s-1) / sum
+		out.EstimateLog[v] = math.Log2(nHat)
+	}
+	return out
+}
+
+// TreeCount counts exactly via a BFS tree rooted at root (an oracle-given
+// leader) with convergecast of subtree sizes; every Byzantine node adds
+// fakeCount to its reported subtree size. The final count is broadcast
+// back down, so every node shares the root's (possibly corrupted) value.
+func TreeCount(h *graph.Graph, byz []bool, root int, fakeCount int64) *Outcome {
+	n := h.N()
+	bfs := graph.NewBFS(h)
+	dist := bfs.Run(root)
+	order := bfs.Visited() // BFS order: parents precede children
+
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	for _, v := range order {
+		if v == int32(root) {
+			continue
+		}
+		for _, w := range h.Neighbors(int(v)) {
+			if dist[w] == dist[v]-1 {
+				parent[v] = w
+				break
+			}
+		}
+	}
+
+	subtree := make([]int64, n)
+	for i := len(order) - 1; i >= 0; i-- { // reverse BFS = post-order-ish
+		v := order[i]
+		total := subtree[v] + 1
+		if byz != nil && byz[v] {
+			total += fakeCount
+		}
+		if p := parent[v]; p >= 0 {
+			subtree[p] += total
+		} else {
+			subtree[v] = total
+		}
+	}
+	count := subtree[root]
+
+	var ecc int32
+	for _, v := range order {
+		if dist[v] > ecc {
+			ecc = dist[v]
+		}
+	}
+	out := &Outcome{EstimateLog: make([]float64, n), Rounds: int(2*ecc) + 1}
+	logEst := math.Log2(float64(count))
+	for _, v := range order {
+		out.EstimateLog[v] = logEst
+	}
+	return out
+}
+
+// CorrectFraction returns the fraction of honest nodes whose estimate of
+// log₂ n lies within [lo·log₂ n, hi·log₂ n].
+func (o *Outcome) CorrectFraction(n int, byz []bool, lo, hi float64) float64 {
+	logN := math.Log2(float64(n))
+	good, honest := 0, 0
+	for v, est := range o.EstimateLog {
+		if byz != nil && byz[v] {
+			continue
+		}
+		honest++
+		if est >= lo*logN && est <= hi*logN {
+			good++
+		}
+	}
+	if honest == 0 {
+		return 0
+	}
+	return float64(good) / float64(honest)
+}

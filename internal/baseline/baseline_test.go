@@ -1,0 +1,158 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hgraph"
+)
+
+func testH(t testing.TB, n int, seed uint64) *hgraph.Network {
+	t.Helper()
+	net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestGeoMaxHonestEstimatesLogN(t *testing.T) {
+	net := testH(t, 2048, 1)
+	out := GeoMax(net.H, nil, 0, 7)
+	logN := math.Log2(2048)
+	// All nodes agree on the global max, which is in
+	// [log n − log log n, 2 log n] w.h.p.
+	first := out.EstimateLog[0]
+	for v, e := range out.EstimateLog {
+		if e != first {
+			t.Fatalf("node %d disagrees: %v vs %v", v, e, first)
+		}
+	}
+	if first < 0.5*logN || first > 2.5*logN {
+		t.Fatalf("GeoMax estimate %v, want within [0.5, 2.5]·log n = [%v, %v]",
+			first, 0.5*logN, 2.5*logN)
+	}
+	if f := out.CorrectFraction(2048, nil, 0.5, 2.5); f != 1 {
+		t.Fatalf("correct fraction %v", f)
+	}
+	// Flooding stabilizes in about a diameter worth of rounds.
+	if out.Rounds > 20 {
+		t.Fatalf("GeoMax took %d rounds", out.Rounds)
+	}
+}
+
+func TestGeoMaxSingleByzantineDestroysEveryone(t *testing.T) {
+	net := testH(t, 1024, 2)
+	byz := make([]bool, 1024)
+	byz[17] = true
+	out := GeoMax(net.H, byz, 1<<40, 9)
+	// The fake max reaches every node: zero honest nodes stay correct.
+	if f := out.CorrectFraction(1024, byz, 0.25, 3.0); f != 0 {
+		t.Fatalf("correct fraction %v under 1 Byzantine node, want 0", f)
+	}
+}
+
+func TestSupportEstimationHonest(t *testing.T) {
+	net := testH(t, 1024, 3)
+	out := SupportEstimation(net.H, nil, 64, false, 11)
+	logN := math.Log2(1024)
+	for v, e := range out.EstimateLog {
+		if math.Abs(e-logN) > 1.0 { // s=64 gives ~12% relative error on n
+			t.Fatalf("node %d support estimate %v, want ~%v", v, e, logN)
+		}
+	}
+}
+
+func TestSupportEstimationSabotaged(t *testing.T) {
+	net := testH(t, 1024, 4)
+	byz := make([]bool, 1024)
+	byz[3] = true
+	out := SupportEstimation(net.H, byz, 64, true, 13)
+	// Zero minima drive n̂ to ~ (s-1)/(s·1e-12): estimates explode.
+	if f := out.CorrectFraction(1024, byz, 0.25, 3.0); f != 0 {
+		t.Fatalf("correct fraction %v under sabotage, want 0", f)
+	}
+}
+
+func TestSupportEstimationPanicsOnTinyS(t *testing.T) {
+	net := testH(t, 64, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for s=1")
+		}
+	}()
+	SupportEstimation(net.H, nil, 1, false, 1)
+}
+
+func TestTreeCountExactWhenHonest(t *testing.T) {
+	net := testH(t, 777, 5)
+	out := TreeCount(net.H, nil, 0, 0)
+	want := math.Log2(777)
+	for v, e := range out.EstimateLog {
+		if math.Abs(e-want) > 1e-9 {
+			t.Fatalf("node %d tree count estimate %v, want %v", v, e, want)
+		}
+	}
+	if out.Rounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestTreeCountCorruptedByOneByzantine(t *testing.T) {
+	net := testH(t, 1024, 6)
+	byz := make([]bool, 1024)
+	byz[100] = true
+	out := TreeCount(net.H, byz, 0, 1<<30)
+	// Count becomes ~2^30: log estimate ~30 instead of 10.
+	if out.EstimateLog[0] < 25 {
+		t.Fatalf("corrupted tree count log = %v, want ~30", out.EstimateLog[0])
+	}
+	if f := out.CorrectFraction(1024, byz, 0.25, 3.0); f != 0 {
+		t.Fatalf("correct fraction %v, want 0", f)
+	}
+}
+
+func TestTreeCountByzantineRootInflation(t *testing.T) {
+	// Even the root itself being Byzantine corrupts everything (it IS the
+	// oracle leader, which is the paper's point about leader election).
+	net := testH(t, 512, 7)
+	byz := make([]bool, 512)
+	byz[0] = true
+	out := TreeCount(net.H, byz, 0, 1<<20)
+	if out.EstimateLog[5] < 15 {
+		t.Fatalf("estimate %v, want ~20", out.EstimateLog[5])
+	}
+}
+
+func TestGeoMaxDeterministic(t *testing.T) {
+	net := testH(t, 256, 8)
+	a := GeoMax(net.H, nil, 0, 42)
+	b := GeoMax(net.H, nil, 0, 42)
+	for v := range a.EstimateLog {
+		if a.EstimateLog[v] != b.EstimateLog[v] {
+			t.Fatal("GeoMax not deterministic")
+		}
+	}
+}
+
+func TestCorrectFractionEdges(t *testing.T) {
+	o := &Outcome{EstimateLog: []float64{10, 10, 100}}
+	byz := []bool{false, false, true}
+	if f := o.CorrectFraction(1024, byz, 0.5, 2); f != 1 {
+		t.Fatalf("fraction %v, want 1 (byz excluded)", f)
+	}
+	if f := o.CorrectFraction(1024, nil, 0.5, 2); math.Abs(f-2.0/3) > 1e-12 {
+		t.Fatalf("fraction %v, want 2/3", f)
+	}
+}
+
+var sink float64
+
+func BenchmarkGeoMax2048(b *testing.B) {
+	net, _ := hgraph.New(hgraph.Params{N: 2048, D: 8, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := GeoMax(net.H, nil, 0, uint64(i))
+		sink += out.EstimateLog[0]
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import "math"
+
+// calibrate.go is an engineering extension beyond the paper (its §4 poses
+// improving the approximation factor toward 1 ± o(1) as an open problem).
+//
+// The protocol's raw estimate is the decided phase i, which concentrates
+// on the flooding horizon of the network: i ≈ ecc_H(v) + 1 ≈
+// log n / log(d−1) + O(1). Since d is known to every node, a node can
+// locally rescale:
+//
+//	ĉ(i) = (i − 1) · log₂(d − 1)
+//
+// which empirically lands within ~10–15% of log₂ n across the simulated
+// range (experiment E14) — far tighter than the generic constant-factor
+// band, though with no matching proof; the paper's open problem stands.
+
+// CalibratedEstimate rescales a decided phase into a direct estimate of
+// log₂ n using the known degree d.
+func CalibratedEstimate(phase, d int) float64 {
+	if phase <= 0 {
+		return 0
+	}
+	return float64(phase-1) * math.Log2(float64(d-1))
+}
+
+// CalibratedRatio returns node v's calibrated estimate divided by the true
+// log₂ n (the quantity E14 shows concentrating near 1), with ok=false for
+// nodes without an estimate.
+func (r *Result) CalibratedRatio(v int) (ratio float64, ok bool) {
+	e, ok := r.EstimateOf(v)
+	if !ok || r.LogN == 0 {
+		return 0, false
+	}
+	return CalibratedEstimate(e, r.D) / r.LogN, true
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hgraph"
+)
+
+func TestCalibratedEstimateFormula(t *testing.T) {
+	// (i-1)·log2(d-1); d=8: log2(7) ≈ 2.807.
+	if got := CalibratedEstimate(5, 8); math.Abs(got-4*math.Log2(7)) > 1e-12 {
+		t.Fatalf("calibrated(5, 8) = %v", got)
+	}
+	if got := CalibratedEstimate(0, 8); got != 0 {
+		t.Fatalf("calibrated(0) = %v, want 0", got)
+	}
+	if got := CalibratedEstimate(-3, 8); got != 0 {
+		t.Fatalf("calibrated(-3) = %v, want 0", got)
+	}
+	if got := CalibratedEstimate(1, 8); got != 0 {
+		t.Fatalf("calibrated(1) = %v, want 0 (phase 1 carries no range information)", got)
+	}
+}
+
+func TestCalibratedRatioConcentratesNearOne(t *testing.T) {
+	net, err := hgraph.New(hgraph.Params{N: 2048, D: 8, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, nil, nil, Config{Algorithm: AlgorithmByzantine, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, honest := 0, 0
+	for v := 0; v < res.N; v++ {
+		if res.Byzantine[v] {
+			continue
+		}
+		honest++
+		if c, ok := res.CalibratedRatio(v); ok && c >= 0.6 && c <= 1.4 {
+			good++
+		}
+	}
+	if frac := float64(good) / float64(honest); frac < 0.8 {
+		t.Fatalf("only %v of calibrated ratios within ±40%% of 1", frac)
+	}
+}
+
+func TestCalibratedRatioNoEstimate(t *testing.T) {
+	r := &Result{N: 1, LogN: 10, D: 8, Estimates: []int32{0}}
+	if _, ok := r.CalibratedRatio(0); ok {
+		t.Fatal("node without estimate produced a calibrated ratio")
+	}
+}

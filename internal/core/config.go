@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Algorithm selects which protocol variant Run executes.
+type Algorithm int
+
+const (
+	// AlgorithmBasic is Algorithm 1: no topology exchange, no color
+	// verification. Correct only absent Byzantine influence.
+	AlgorithmBasic Algorithm = iota
+	// AlgorithmByzantine is Algorithm 2: topology exchange with
+	// crash-on-conflict plus chain-attestation color verification.
+	AlgorithmByzantine
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmBasic:
+		return "basic"
+	case AlgorithmByzantine:
+		return "byzantine"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config parameterizes a protocol run.
+type Config struct {
+	Algorithm Algorithm
+	// Epsilon is the paper's error parameter ε ∈ (0,1): at most an
+	// ε-fraction of honest nodes may decide wrongly. Default 0.1.
+	Epsilon float64
+	// MaxPhase is the simulator's safety cap on phases. Nodes still active
+	// past it are reported as undecided. 0 selects 4·log₂(n)+16.
+	MaxPhase int
+	// Seed drives all honest protocol coins (per-node streams are split
+	// from it). The network topology has its own seed in hgraph.Params.
+	Seed uint64
+	// Workers sets simulator parallelism; 0 selects GOMAXPROCS.
+	Workers int
+	// RecordPhaseActivity, when set, records how many honest nodes were
+	// still active at the start of each phase (used by experiment E6/E11).
+	RecordPhaseActivity bool
+	// Observer, if non-nil, is called serially after every synchronous
+	// round with the full world state (Clock identifies the position).
+	// Experiments use it to watch color propagation, e.g. to detect
+	// whether Byzantine injections were ever accepted.
+	Observer Observer
+	// InjectionThreshold, when > 0, instruments the engine to record the
+	// round at which a color >= the threshold FIRST enters the honest
+	// population in each subphase — the quantity Lemma 16 bounds by k−1.
+	// (Later holds are legitimate honest flooding, per Lemma 17.)
+	InjectionThreshold int64
+	// Churn injects crash failures during the run (an extension beyond the
+	// paper, which handles crashes only at the exchange): the configured
+	// number of random honest nodes permanently stop participating at the
+	// starts of random early phases. Estimation must survive on the
+	// remaining expander (experiment E15).
+	Churn ChurnConfig
+}
+
+// ChurnConfig schedules mid-run crash failures.
+type ChurnConfig struct {
+	// Crashes is how many honest nodes crash-fail during the run.
+	Crashes int
+	// Seed drives victim and timing selection.
+	Seed uint64
+	// LastPhase bounds the phases at which crashes may fire (phases
+	// 2..LastPhase); 0 selects 6.
+	LastPhase int
+}
+
+// Observer receives a serial callback at the end of every round.
+type Observer interface {
+	RoundEnd(w *World)
+}
+
+// PhaseObserver is an optional extension of Observer: implementations are
+// additionally called after each phase's decision step (decisions are
+// assigned after the phase's last round, so a pure RoundEnd observer would
+// see the final phase's deciders only at the next phase — or never, for
+// the last phase).
+type PhaseObserver interface {
+	PhaseEnd(w *World)
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.1
+	}
+	if c.MaxPhase == 0 {
+		c.MaxPhase = int(4*math.Log2(float64(n))) + 16
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Epsilon < 0 || c.Epsilon >= 1 {
+		return fmt.Errorf("core: epsilon %v outside [0,1)", c.Epsilon)
+	}
+	if c.MaxPhase < 0 {
+		return fmt.Errorf("core: negative MaxPhase %d", c.MaxPhase)
+	}
+	if c.Algorithm != AlgorithmBasic && c.Algorithm != AlgorithmByzantine {
+		return fmt.Errorf("core: unknown algorithm %d", c.Algorithm)
+	}
+	return nil
+}

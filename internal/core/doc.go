@@ -1,0 +1,34 @@
+// Package core implements the paper's primary contribution: the Byzantine
+// counting protocol of "Network Size Estimation in Small-World Networks
+// under Byzantine Faults" (Chatterjee, Pandurangan, Robinson; IPDPS 2019).
+//
+// Two algorithms are provided, selected by Config.Algorithm:
+//
+//   - AlgorithmBasic — Algorithm 1: phase-based geometric-color flooding on
+//     the H edges, with the fresh-maximum/threshold termination rule. Its
+//     analysis assumes no Byzantine influence; running it against an active
+//     adversary demonstrates why Algorithm 2 is needed.
+//
+//   - AlgorithmByzantine — Algorithm 2: Algorithm 1 plus the two defenses:
+//     the pre-phase topology exchange with crash-on-conflict (Lemma 3 /
+//     Lemma 15) and per-color chain attestation over the lattice edges
+//     (Lemma 16), which confines Byzantine color injection to the first
+//     k−1 rounds of a subphase.
+//
+// The simulation is synchronous and faithful to the paper's full-information
+// model: the Adversary interface receives a read view of the entire world
+// state (including every honest node's clonable coin stream) and chooses
+// Byzantine behaviour per edge, per round.
+//
+// # Modeling choices
+//
+// Nodes are granted knowledge of their own H-incident edges, and the
+// topology exchange is simulated at the level of per-victim H-adjacency
+// claims with the paper's crash-on-conflict rule, rather than re-deriving
+// H from raw G-lists inside every node. Lemma 3 proves the derivation is
+// exact for honest neighborhoods and Lemma 15 proves the only outcomes
+// under attack are "exact" or "crash", so the downstream dynamics are
+// unchanged; the literal G→H derivation is implemented separately as
+// DeriveHFromG and validated in experiment E4. See DESIGN.md §1 for the
+// full argument.
+package core

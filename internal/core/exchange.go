@@ -1,0 +1,148 @@
+package core
+
+import "repro/internal/graph"
+
+// runExchange simulates Algorithm 2 lines 1–2: every node asks its
+// G-neighbors for adjacency information, reconstructs its k-ball in H, and
+// crashes itself if it receives conflicting or contradictory reports.
+//
+// Honest nodes report truthfully; Byzantine nodes report whatever the
+// adversary chooses per victim. A victim v crashes if, within its radius-k
+// claimed ball,
+//
+//   - a claimed H-edge names a node outside v's channel set (v has a direct
+//     G-channel to every node within H-distance k, so a phantom claim is
+//     immediately inconsistent),
+//   - a claimed edge is denied by its other endpoint (Figure 1: hiding a
+//     real child or inventing a fake one always contradicts some honest
+//     reporter), or
+//   - a claimed adjacency list does not have exactly d entries (H is
+//     d-regular "in v's eyes", as the Lemma 15 proof requires).
+//
+// Consistent lies between pairs of Byzantine nodes survive, exactly as in
+// the paper; they can only fabricate all-Byzantine structures, which
+// Observation 6 bounds.
+func (w *World) runExchange() {
+	// Exchange cost: every uncrashed node ships its adjacency list to all
+	// G-neighbors (constant rounds, constant-ID messages: Remark 3).
+	n := w.N()
+	d := w.Net.Params.D
+	for v := 0; v < n; v++ {
+		if !w.Byz[v] {
+			w.counters.CountMessages(w.Net.G.Degree(v), (d+1)*64)
+		}
+	}
+	w.counters.CountRound()
+
+	if len(w.byzList) == 0 {
+		return
+	}
+
+	// Only nodes with a Byzantine node inside their radius-k H-ball can
+	// receive a lie; everyone else reconstructs the truth trivially.
+	scratch := graph.NewBFS(w.Net.H)
+	candidate := make([]bool, n)
+	for _, b := range w.byzList {
+		nodes, _ := graph.BallWith(scratch, int(b), w.Net.K)
+		for _, v := range nodes {
+			if !w.Byz[v] {
+				candidate[v] = true
+			}
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		if !candidate[v] {
+			continue
+		}
+		w.exchangeAtVictim(v, scratch)
+	}
+}
+
+// exchangeAtVictim collects the claims made to v, builds v's believed ball,
+// and applies the crash rule.
+func (w *World) exchangeAtVictim(v int, scratch *graph.BFS) {
+	h := w.Net.H
+	k := w.Net.K
+	d := w.Net.Params.D
+
+	// v's channel set: ground truth, the adversary cannot fabricate wires.
+	ballNodes, _ := graph.BallWith(scratch, v, k)
+	channels := make(map[int32]bool, len(ballNodes))
+	for _, x := range ballNodes {
+		channels[x] = true
+	}
+
+	// Collect per-victim claims from every Byzantine node v can hear.
+	var claims map[int32][]int32
+	for _, x := range ballNodes {
+		if !w.Byz[x] {
+			continue
+		}
+		claimed := w.adv.ClaimHNeighbors(w, int(x), v)
+		if claimed == nil {
+			continue
+		}
+		if claims == nil {
+			claims = make(map[int32][]int32)
+		}
+		claims[x] = claimed
+	}
+	if claims == nil {
+		return // everyone reported truthfully; reconstruction is exact
+	}
+
+	adjOf := func(x int32) []int32 {
+		if c, ok := claims[x]; ok {
+			return c
+		}
+		return h.Neighbors(int(x))
+	}
+	contains := func(list []int32, y int32) bool {
+		for _, e := range list {
+			if e == y {
+				return true
+			}
+		}
+		return false
+	}
+
+	// BFS over the claimed topology, radius k, validating as we go.
+	dist := map[int32]int{int32(v): 0}
+	queue := []int32{int32(v)}
+	crash := false
+	for head := 0; head < len(queue) && !crash; head++ {
+		x := queue[head]
+		dx := dist[x]
+		if dx >= k {
+			continue
+		}
+		adj := adjOf(x)
+		if len(adj) != d {
+			// A node whose claimed degree differs from d cannot be a node
+			// of the d-regular H.
+			crash = true
+			break
+		}
+		for _, y := range adj {
+			if !channels[y] && y != int32(v) {
+				crash = true // phantom: claimed within distance k, no channel
+				break
+			}
+			if !contains(adjOf(y), x) {
+				crash = true // the endpoint denies the edge
+				break
+			}
+			if _, seen := dist[y]; !seen {
+				dist[y] = dx + 1
+				queue = append(queue, y)
+			}
+		}
+	}
+
+	if crash {
+		w.crashed[v] = true
+		return
+	}
+	w.views[v] = claims
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// reconstruct.go implements the literal Lemma 3 derivation: an honest node
+// v that knows only its G-adjacency (and its G-neighbors' G-adjacency
+// lists) recovers the H-topology of its radius-k ball using the subset
+// rules
+//
+//	w is a child of u (w.r.t. v)  ⟺  N_G(w) ∩ N_G(v) ⊊ N_G(u) ∩ N_G(v),
+//
+// evaluated over G-adjacent pairs (a BFS-tree edge of H is in particular a
+// G-edge). The derivation is exact when the ball is locally tree-like; the
+// protocol engine itself uses the equivalent claims-based exchange (see
+// doc.go), and experiment E4 uses this function to validate the lemma.
+
+// DerivedBall is the output of DeriveHFromG.
+type DerivedBall struct {
+	// HNeighbors is v's derived set of H-neighbors (the BFS-tree roots).
+	HNeighbors []int32
+	// Parent maps each ball member to its derived BFS-tree parent
+	// (members of HNeighbors map to v itself).
+	Parent map[int32]int32
+	// Ambiguous is true if some node matched multiple parents or the
+	// subset relation was cyclic — the ball is not tree-like.
+	Ambiguous bool
+}
+
+// DeriveHFromG runs the Lemma 3 derivation for node v on network (g, k),
+// where g must be the simple small-world graph G built from the hidden H.
+// Only information available to v in the model is consulted: N_G(v) and
+// the N_G lists of v's G-neighbors.
+func DeriveHFromG(g *graph.Graph, v, k int) *DerivedBall {
+	nv := g.UniqueNeighbors(v)
+	inBall := make(map[int32]bool, len(nv)+1)
+	inBall[int32(v)] = true
+	for _, u := range nv {
+		inBall[u] = true
+	}
+
+	// I[u] = N_G[u] ∩ N_G[v] over *closed* neighborhoods (N_G[x] includes
+	// x itself): with open neighborhoods a child's intersection contains
+	// its parent but not vice versa, and the subset rule never fires.
+	// Sorted slices keep this O(deg²) per node instead of O(deg³).
+	intersect := make(map[int32][]int32, len(nv))
+	for _, u := range nv {
+		ix := []int32{u}
+		for _, x := range g.UniqueNeighbors(int(u)) {
+			if inBall[x] {
+				ix = append(ix, x)
+			}
+		}
+		sort.Slice(ix, func(a, b int) bool { return ix[a] < ix[b] })
+		intersect[u] = ix
+	}
+
+	isSubset := func(a, b []int32) bool { // a ⊆ b for sorted slices
+		i := 0
+		for _, x := range a {
+			for i < len(b) && b[i] < x {
+				i++
+			}
+			if i >= len(b) || b[i] != x {
+				return false
+			}
+		}
+		return true
+	}
+
+	out := &DerivedBall{Parent: make(map[int32]int32, len(nv))}
+	for _, wn := range nv {
+		iw := intersect[wn]
+		// Every proper ancestor of wn inside the ball satisfies the subset
+		// rule (the intersections shrink down the tree), so wn may match
+		// its parent, grandparent, … The true parent is the match with the
+		// minimal intersection; matches must be totally ordered by ⊆ or
+		// the ball is not tree-like.
+		var matches []int32
+		for _, u := range g.UniqueNeighbors(int(wn)) {
+			if u == wn || !inBall[u] || u == int32(v) {
+				continue
+			}
+			iu := intersect[u]
+			if len(iw) < len(iu) && isSubset(iw, iu) {
+				matches = append(matches, u)
+			}
+		}
+		switch {
+		case len(matches) == 0:
+			// No parent among the ball members: wn is a root, i.e. an
+			// H-neighbor of v.
+			out.HNeighbors = append(out.HNeighbors, wn)
+			out.Parent[wn] = int32(v)
+		default:
+			best := matches[0]
+			for _, u := range matches[1:] {
+				if len(intersect[u]) < len(intersect[best]) {
+					best = u
+				}
+			}
+			for _, u := range matches {
+				if u != best && !isSubset(intersect[best], intersect[u]) {
+					out.Ambiguous = true
+				}
+			}
+			out.Parent[wn] = best
+		}
+	}
+	sort.Slice(out.HNeighbors, func(a, b int) bool { return out.HNeighbors[a] < out.HNeighbors[b] })
+	return out
+}
+
+// DerivationMatches compares a DerivedBall against the ground-truth H and
+// reports whether v's derived H-neighbor set is exactly N_H(v) and every
+// derived parent edge is a real H-edge.
+func DerivationMatches(h *graph.Graph, v int, ball *DerivedBall) bool {
+	if ball.Ambiguous {
+		return false
+	}
+	truth := h.UniqueNeighbors(v)
+	if len(truth) != len(ball.HNeighbors) {
+		return false
+	}
+	for i := range truth {
+		if truth[i] != ball.HNeighbors[i] {
+			return false
+		}
+	}
+	for child, parent := range ball.Parent {
+		if parent == int32(v) {
+			continue // already checked via HNeighbors
+		}
+		if !h.HasEdge(int(parent), int(child)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,78 @@
+package core
+
+import "fmt"
+
+// Result is the immutable outcome of one protocol run.
+type Result struct {
+	N         int
+	D         int
+	K         int
+	LogN      float64 // log₂ n, the quantity the protocol estimates
+	Algorithm Algorithm
+	Epsilon   float64
+
+	// Estimates[v] is the phase at which node v decided — its estimate of
+	// log n — or 0 for Byzantine, crashed, or undecided nodes.
+	Estimates []int32
+	// DecidedAt[v] is the global round at which v decided (0 if it never did).
+	DecidedAt []int64
+	Crashed   []bool
+	Byzantine []bool
+
+	Rounds         int64 // total synchronous rounds executed
+	Phases         int   // largest phase any honest node reached before deciding
+	Messages       int64 // honest-side messages (floods, exchange, attestations)
+	Bits           int64 // total honest-side bits
+	MaxMessageBits int64 // largest single message
+
+	HonestCount    int
+	ByzantineCount int
+	CrashedCount   int // includes exchange crashes and churn crashes
+	ChurnCrashes   int // mid-run crash failures injected by Config.Churn
+	UndecidedCount int
+
+	// ActivePerPhase[i-1] is the number of active honest nodes at the start
+	// of phase i (only recorded with Config.RecordPhaseActivity).
+	ActivePerPhase []int
+
+	// InjectionEntryRounds histograms, per subphase that saw one, the round
+	// at which an injected color (>= Config.InjectionThreshold) first
+	// entered the honest population. Lemma 16: all keys are <= k−1.
+	// Nil unless Config.InjectionThreshold was set.
+	InjectionEntryRounds map[int]int
+}
+
+// MaxInjectionEntryRound returns the latest subphase round at which an
+// injected color entered the honest population (0 if never).
+func (r *Result) MaxInjectionEntryRound() int {
+	max := 0
+	for t := range r.InjectionEntryRounds {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// EstimateOf returns node v's estimate and whether it produced one.
+func (r *Result) EstimateOf(v int) (int, bool) {
+	e := r.Estimates[v]
+	return int(e), e > 0
+}
+
+// Ratio returns node v's estimate divided by log₂ n, the quantity whose
+// constant-factor concentration Theorem 1 asserts. ok is false for nodes
+// without an estimate.
+func (r *Result) Ratio(v int) (ratio float64, ok bool) {
+	e, ok := r.EstimateOf(v)
+	if !ok || r.LogN == 0 {
+		return 0, false
+	}
+	return float64(e) / r.LogN, true
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("core.Result{n=%d alg=%s honest=%d byz=%d crashed=%d undecided=%d rounds=%d maxphase=%d}",
+		r.N, r.Algorithm, r.HonestCount, r.ByzantineCount, r.CrashedCount, r.UndecidedCount, r.Rounds, r.Phases)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hgraph"
+)
+
+func TestAlgorithmString(t *testing.T) {
+	if AlgorithmBasic.String() != "basic" || AlgorithmByzantine.String() != "byzantine" {
+		t.Fatal("algorithm names")
+	}
+	if !strings.Contains(Algorithm(7).String(), "7") {
+		t.Fatal("unknown algorithm string")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	net, err := hgraph.New(hgraph.Params{N: 128, D: 8, Seed: 701})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, nil, nil, Config{Algorithm: AlgorithmBasic, Seed: 703})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, want := range []string{"n=128", "alg=basic", "honest=128"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Result.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRatioEdgeCases(t *testing.T) {
+	r := &Result{N: 2, LogN: 0, Estimates: []int32{5, 0}}
+	if _, ok := r.Ratio(0); ok {
+		t.Fatal("LogN=0 produced a ratio")
+	}
+	if _, ok := r.Ratio(1); ok {
+		t.Fatal("no estimate produced a ratio")
+	}
+}
+
+func TestMaxInjectionEntryRoundEmpty(t *testing.T) {
+	r := &Result{}
+	if r.MaxInjectionEntryRound() != 0 {
+		t.Fatal("empty injection map should report 0")
+	}
+	r.InjectionEntryRounds = map[int]int{1: 3, 2: 1}
+	if r.MaxInjectionEntryRound() != 2 {
+		t.Fatal("max entry round wrong")
+	}
+}
+
+// The HonestAdversary trivial hooks are exercised through a run with a
+// Byzantine set, keeping the null strategy honest by construction.
+func TestHonestAdversaryHooks(t *testing.T) {
+	adv := HonestAdversary{}
+	if adv.Name() != "honest" {
+		t.Fatal("name")
+	}
+	net, err := hgraph.New(hgraph.Params{N: 128, D: 8, Seed: 705})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := make([]bool, 128)
+	byz[3] = true
+	cfg := Config{Algorithm: AlgorithmByzantine, Seed: 707}.withDefaults(128)
+	w := newWorld(net, byz, adv, cfg)
+	defer w.Close()
+	adv.Init(w)
+	adv.SubphaseStart(w)
+	if got := adv.ClaimHNeighbors(w, 3, 0); got != nil {
+		t.Fatal("honest adversary lied about topology")
+	}
+	if adv.Send(w, 3, 0, 1) != w.Held(3) {
+		t.Fatal("honest adversary send mismatch")
+	}
+	// World accessor smoke checks along the way.
+	if w.DecidedPhase(0) != 0 {
+		t.Fatal("fresh node decided")
+	}
+	if w.IsCrashed(0) {
+		t.Fatal("fresh node crashed")
+	}
+	if w.Counters() == nil {
+		t.Fatal("counters nil")
+	}
+}

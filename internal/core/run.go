@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hgraph"
+	"repro/internal/rng"
+)
+
+// Run executes one full protocol run on the given network. byz marks the
+// Byzantine nodes (may be all-false), adv drives them (use
+// HonestAdversary{} when byz is empty), and cfg selects the algorithm and
+// parameters.
+//
+// The run proceeds in the paper's global synchronous schedule: phases
+// i = 1, 2, …, each of i·α_i subphases, each flooding for exactly i rounds.
+// It stops when every honest uncrashed node has decided, or at the
+// MaxPhase safety cap (survivors are reported undecided).
+func Run(net *hgraph.Network, byz []bool, adv Adversary, cfg Config) (*Result, error) {
+	n := net.H.N()
+	if byz == nil {
+		byz = make([]bool, n)
+	}
+	if len(byz) != n {
+		return nil, fmt.Errorf("core: byz vector length %d != n %d", len(byz), n)
+	}
+	cfg = cfg.withDefaults(n)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if adv == nil {
+		adv = HonestAdversary{}
+	}
+
+	w := newWorld(net, byz, adv, cfg)
+	defer w.Close()
+	adv.Init(w)
+
+	if cfg.Algorithm == AlgorithmByzantine {
+		w.runExchange()
+	}
+	churn := scheduleChurn(cfg, byz)
+
+	for i := 1; i <= cfg.MaxPhase; i++ {
+		for _, victim := range churn[i] {
+			if !w.crashed[victim] {
+				w.crashed[victim] = true
+				w.churnCrashes++
+			}
+		}
+		active := w.activeCount()
+		if cfg.RecordPhaseActivity {
+			w.activePerPhase = append(w.activePerPhase, active)
+		}
+		if active == 0 {
+			break
+		}
+		w.runPhase(i)
+	}
+
+	return w.buildResult(), nil
+}
+
+// scheduleChurn assigns each churn victim a crash phase. Victims are drawn
+// uniformly from the honest nodes; phases uniformly from [2, LastPhase].
+func scheduleChurn(cfg Config, byz []bool) map[int][]int {
+	if cfg.Churn.Crashes <= 0 {
+		return nil
+	}
+	last := cfg.Churn.LastPhase
+	if last == 0 {
+		last = 6
+	}
+	if last < 2 {
+		last = 2
+	}
+	src := rng.New(cfg.Churn.Seed + 0xC4A5)
+	var honest []int
+	for v, b := range byz {
+		if !b {
+			honest = append(honest, v)
+		}
+	}
+	count := cfg.Churn.Crashes
+	if count > len(honest) {
+		count = len(honest)
+	}
+	schedule := make(map[int][]int, last)
+	for _, idx := range src.Sample(len(honest), count) {
+		phase := 2 + src.Intn(last-1)
+		schedule[phase] = append(schedule[phase], honest[idx])
+	}
+	return schedule
+}
+
+// runPhase executes phase i for every node in lockstep.
+func (w *World) runPhase(i int) {
+	n := w.N()
+	for v := 0; v < n; v++ {
+		w.continueFlag[v] = false
+	}
+	subphases := w.Sched.Subphases(i)
+	theta := w.Sched.Threshold(i)
+	for j := 1; j <= subphases; j++ {
+		w.runSubphase(i, j)
+		// Evaluate the continue criterion (Algorithm 1 lines 16–18):
+		// k_i > k_t for all t < i, and k_i > θ_i.
+		for v := 0; v < n; v++ {
+			if !w.IsActive(v) {
+				continue
+			}
+			if w.kFinal[v] > w.maxEarly[v] && float64(w.kFinal[v]) > theta {
+				w.continueFlag[v] = true
+			}
+		}
+	}
+	// Decision (Algorithm 1 lines 20–24).
+	for v := 0; v < n; v++ {
+		if w.IsActive(v) && !w.continueFlag[v] {
+			w.decided[v] = int32(i)
+			w.decidedRound[v] = w.globalRound
+		}
+	}
+	if po, ok := w.Cfg.Observer.(PhaseObserver); ok {
+		po.PhaseEnd(w)
+	}
+}
+
+// runSubphase executes one subphase of phase i: color generation followed
+// by exactly i flooding rounds.
+func (w *World) runSubphase(i, j int) {
+	n := w.N()
+	w.Clock = Clock{Phase: i, Subphase: j, Round: 0}
+
+	w.entryRound = 0
+
+	// Color generation (Algorithm 1 lines 10–11). Decided nodes stop
+	// generating but keep forwarding; crashed nodes are silent.
+	cur := w.held.Cur()
+	for v := 0; v < n; v++ {
+		var c int64
+		if w.IsActive(v) {
+			c = int64(w.colorSrc[v].Geometric())
+		}
+		w.color[v] = c
+		cur[v] = c
+		w.heldLog[v][0] = c
+		w.maxEarly[v] = 0
+		w.kFinal[v] = 0
+	}
+	w.adv.SubphaseStart(w)
+
+	verify := w.Cfg.Algorithm == AlgorithmByzantine
+	for t := 1; t <= i; t++ {
+		w.Clock.Round = t
+		// Latch Byzantine sends for this round (serial, so adversaries
+		// need no internal synchronization for Send).
+		for _, b := range w.byzList {
+			for _, nb := range w.Net.H.Neighbors(int(b)) {
+				w.byzSends[w.byzSlot[byzKey(b, nb)]] = w.adv.Send(w, int(b), int(nb), t)
+			}
+		}
+		w.pool.ForChunks(n, func(start, end int) {
+			for v := start; v < end; v++ {
+				w.stepNode(v, t, i, verify)
+			}
+		})
+		w.held.Swap()
+		w.counters.CountRound()
+		w.globalRound++
+		if thr := w.Cfg.InjectionThreshold; thr > 0 && w.entryRound == 0 {
+			// First round of this subphase at which any honest node holds
+			// an injected color: the Lemma 16 "entry" event.
+			for v := 0; v < n; v++ {
+				if !w.Byz[v] && !w.crashed[v] && w.held.Cur()[v] >= thr {
+					w.entryRound = t
+					break
+				}
+			}
+		}
+		if w.Cfg.Observer != nil {
+			w.Cfg.Observer.RoundEnd(w)
+		}
+	}
+	if w.entryRound > 0 {
+		if w.injectionEntries == nil {
+			w.injectionEntries = make(map[int]int)
+		}
+		w.injectionEntries[w.entryRound]++
+	}
+	w.Clock.Round = 0
+}
+
+// stepNode advances node v through round t of an i-round subphase:
+// deliver neighbor sends, verify improvements, update the held color and
+// the k_t bookkeeping.
+func (w *World) stepNode(v, t, i int, verify bool) {
+	cur := w.held.Cur()
+	next := w.held.Next()
+
+	if w.crashed[v] {
+		next[v] = 0
+		return
+	}
+	if w.Byz[v] {
+		// Bookkeeping only: Byzantine nodes "hold" the max of everything
+		// they hear, giving strategies a sane protocol-following default.
+		best := cur[v]
+		for _, nb := range w.Net.H.Neighbors(v) {
+			if !w.crashed[nb] && cur[nb] > best {
+				best = cur[nb]
+			}
+		}
+		next[v] = best
+		w.heldLog[v][t] = best
+		return
+	}
+
+	heldv := cur[v]
+	// Flooding cost: v sent its held color to all H-neighbors this round.
+	if heldv > 0 {
+		w.counters.CountMessages(len(w.Net.H.Neighbors(v)), messageBits(heldv))
+	}
+
+	var kt int64             // max reception this round (after verification)
+	var candidates [64]int64 // improvement candidates awaiting verification
+	var candFrom [64]int32   // their senders
+	nc := 0
+	for _, nb := range w.Net.H.Neighbors(v) {
+		var c int64
+		if w.Byz[nb] {
+			c = w.byzSends[w.byzSlot[byzKey(nb, int32(v))]]
+		} else if !w.crashed[nb] {
+			c = cur[nb]
+		}
+		if c == 0 {
+			continue
+		}
+		if c <= heldv {
+			// Sub-maximum receptions (echoes) need no verification: they
+			// can never strictly exceed the final-round echo floor.
+			if c > kt {
+				kt = c
+			}
+			continue
+		}
+		if nc < len(candidates) {
+			candidates[nc] = c
+			candFrom[nc] = nb
+			nc++
+		}
+	}
+
+	newHeld := heldv
+	if nc > 0 {
+		// Verify improvement candidates best-first; the first that passes
+		// is the verified fresh maximum. Failed candidates are discarded
+		// (Algorithm 2: inconsistent high values are dropped).
+		order := make([]int, nc)
+		for idx := range order {
+			order[idx] = idx
+		}
+		sort.Slice(order, func(a, b int) bool { return candidates[order[a]] > candidates[order[b]] })
+		for _, idx := range order {
+			c := candidates[idx]
+			if verify && !w.verifyColor(v, candFrom[idx], c, t) {
+				continue
+			}
+			if c > kt {
+				kt = c
+			}
+			newHeld = c
+			break
+		}
+	}
+
+	next[v] = newHeld
+	w.heldLog[v][t] = newHeld
+	if t < i {
+		if kt > w.maxEarly[v] {
+			w.maxEarly[v] = kt
+		}
+	} else {
+		w.kFinal[v] = kt
+	}
+}
+
+// buildResult snapshots the world into an immutable Result.
+func (w *World) buildResult() *Result {
+	n := w.N()
+	res := &Result{
+		N:         n,
+		D:         w.Net.Params.D,
+		K:         w.Net.K,
+		LogN:      math.Log2(float64(n)),
+		Algorithm: w.Cfg.Algorithm,
+		Epsilon:   w.Cfg.Epsilon,
+		Estimates: append([]int32(nil), w.decided...),
+		DecidedAt: append([]int64(nil), w.decidedRound...),
+		Crashed:   append([]bool(nil), w.crashed...),
+		Byzantine: append([]bool(nil), w.Byz...),
+		Rounds:    w.globalRound,
+
+		ActivePerPhase: append([]int(nil), w.activePerPhase...),
+	}
+	snap := w.counters.Snapshot()
+	res.Messages = snap.Messages
+	res.Bits = snap.Bits
+	res.MaxMessageBits = snap.MaxBits
+	if w.injectionEntries != nil {
+		res.InjectionEntryRounds = make(map[int]int, len(w.injectionEntries))
+		for t, c := range w.injectionEntries {
+			res.InjectionEntryRounds[t] = c
+		}
+	}
+	for v := 0; v < n; v++ {
+		switch {
+		case w.Byz[v]:
+			res.ByzantineCount++
+		case w.crashed[v]:
+			res.CrashedCount++
+		case w.decided[v] == 0:
+			res.UndecidedCount++
+		default:
+			if p := int(w.decided[v]); p > res.Phases {
+				res.Phases = p
+			}
+		}
+	}
+	res.HonestCount = n - res.ByzantineCount
+	res.ChurnCrashes = w.churnCrashes
+	return res
+}

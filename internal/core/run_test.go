@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hgraph"
+	"repro/internal/rng"
+)
+
+func testNet(t testing.TB, n int, seed uint64) *hgraph.Network {
+	t.Helper()
+	net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// fractionInBand returns the fraction of honest nodes whose estimate/log₂n
+// ratio lies in [lo, hi]. Crashed and undecided nodes count as outside.
+func fractionInBand(r *Result, lo, hi float64) float64 {
+	good, honest := 0, 0
+	for v := 0; v < r.N; v++ {
+		if r.Byzantine[v] {
+			continue
+		}
+		honest++
+		if ratio, ok := r.Ratio(v); ok && ratio >= lo && ratio <= hi {
+			good++
+		}
+	}
+	if honest == 0 {
+		return 0
+	}
+	return float64(good) / float64(honest)
+}
+
+func TestBasicRunTerminatesWithConstantFactorEstimates(t *testing.T) {
+	net := testNet(t, 1024, 1)
+	res, err := Run(net, nil, nil, Config{Algorithm: AlgorithmBasic, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UndecidedCount != 0 {
+		t.Fatalf("%d nodes undecided", res.UndecidedCount)
+	}
+	if res.CrashedCount != 0 {
+		t.Fatalf("%d nodes crashed in basic run", res.CrashedCount)
+	}
+	// Theorem 1 shape, Byzantine-free: ≥ (1−ε) of nodes in a constant
+	// band around log n. The empirical ratio concentrates near
+	// 1/log₂(d−1) ≈ 0.36 at d=8; use a generous constant band.
+	if f := fractionInBand(res, 0.15, 3.0); f < 0.9 {
+		t.Fatalf("only %v of nodes in band", f)
+	}
+	if res.Rounds <= 0 || res.Phases <= 0 {
+		t.Fatalf("suspicious run: %v", res)
+	}
+}
+
+func TestEstimatesConcentrate(t *testing.T) {
+	// All honest deciders should land within a few phases of each other
+	// (they all see ~the diameter).
+	net := testNet(t, 2048, 3)
+	res, err := Run(net, nil, nil, Config{Algorithm: AlgorithmBasic, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := int32(1<<30), int32(0)
+	for v := 0; v < res.N; v++ {
+		e := res.Estimates[v]
+		if e == 0 {
+			continue
+		}
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	if max-min > 6 {
+		t.Fatalf("estimates spread too wide: [%d, %d]", min, max)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	net := testNet(t, 512, 5)
+	cfg := Config{Algorithm: AlgorithmByzantine, Seed: 11}
+	byz := hgraph.PlaceByzantine(512, 4, nil2())
+	a, err := Run(net, byz, HonestAdversary{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(net, byz, HonestAdversary{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatalf("rounds differ: %d vs %d", a.Rounds, b.Rounds)
+	}
+	for v := range a.Estimates {
+		if a.Estimates[v] != b.Estimates[v] {
+			t.Fatalf("estimate of %d differs: %d vs %d", v, a.Estimates[v], b.Estimates[v])
+		}
+	}
+	if a.Messages != b.Messages || a.Bits != b.Bits {
+		t.Fatalf("message accounting differs")
+	}
+}
+
+func TestByzantineAlgorithmWithHonestAdversaryMatchesShape(t *testing.T) {
+	// Algorithm 2 with protocol-following Byzantine nodes must behave like
+	// Algorithm 1: no crashes, everyone decides, same band.
+	net := testNet(t, 1024, 7)
+	byz := hgraph.PlaceByzantine(1024, 8, nil2())
+	res, err := Run(net, byz, HonestAdversary{}, Config{Algorithm: AlgorithmByzantine, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashedCount != 0 {
+		t.Fatalf("honest adversary caused %d crashes", res.CrashedCount)
+	}
+	if res.UndecidedCount != 0 {
+		t.Fatalf("%d honest nodes undecided", res.UndecidedCount)
+	}
+	if f := fractionInBand(res, 0.15, 3.0); f < 0.9 {
+		t.Fatalf("only %v in band", f)
+	}
+}
+
+func TestVerificationAcceptsHonestTraffic(t *testing.T) {
+	// With no Byzantine nodes at all, Algorithms 1 and 2 must produce
+	// identical estimates: verification may never reject honest colors.
+	net := testNet(t, 512, 9)
+	basic, err := Run(net, nil, nil, Config{Algorithm: AlgorithmBasic, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byzant, err := Run(net, nil, nil, Config{Algorithm: AlgorithmByzantine, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 512; v++ {
+		if basic.Estimates[v] != byzant.Estimates[v] {
+			t.Fatalf("node %d: basic=%d byzantine=%d — verification rejected honest traffic",
+				v, basic.Estimates[v], byzant.Estimates[v])
+		}
+	}
+	if basic.Rounds != byzant.Rounds {
+		t.Fatalf("round counts differ: %d vs %d", basic.Rounds, byzant.Rounds)
+	}
+}
+
+func TestEstimateScalesWithN(t *testing.T) {
+	// The estimate must grow with n: median estimate at 4096 strictly
+	// above median at 256 (both ≈ diameter of H).
+	med := func(n int, seed uint64) float64 {
+		net := testNet(t, n, seed)
+		res, err := Run(net, nil, nil, Config{Algorithm: AlgorithmBasic, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ests []int
+		for v := 0; v < n; v++ {
+			if e, ok := res.EstimateOf(v); ok {
+				ests = append(ests, e)
+			}
+		}
+		sum := 0
+		for _, e := range ests {
+			sum += e
+		}
+		return float64(sum) / float64(len(ests))
+	}
+	small := med(256, 31)
+	large := med(4096, 32)
+	if large <= small {
+		t.Fatalf("estimates do not grow with n: %v (256) vs %v (4096)", small, large)
+	}
+	// Constant-factor check across a 16x size change: the ratio of
+	// estimate to log2(n) should be stable within a factor ~2.
+	rSmall := small / math.Log2(256)
+	rLarge := large / math.Log2(4096)
+	if rLarge/rSmall > 2 || rSmall/rLarge > 2 {
+		t.Fatalf("estimate/log n ratio drifted: %v -> %v", rSmall, rLarge)
+	}
+}
+
+func TestRoundsGrowPolylog(t *testing.T) {
+	rounds := func(n int) float64 {
+		net := testNet(t, n, uint64(n))
+		res, err := Run(net, nil, nil, Config{Algorithm: AlgorithmBasic, Seed: uint64(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Rounds)
+	}
+	r256 := rounds(256)
+	r4096 := rounds(4096)
+	// log³ scaling predicts (12/8)³ ≈ 3.4x; any superpolylog blowup or
+	// flatline is a bug.
+	ratio := r4096 / r256
+	if ratio < 1.2 || ratio > 8 {
+		t.Fatalf("rounds ratio 256→4096 = %v, want within [1.2, 8]", ratio)
+	}
+}
+
+func TestSmallMessages(t *testing.T) {
+	net := testNet(t, 1024, 17)
+	res, err := Run(net, nil, nil, Config{Algorithm: AlgorithmByzantine, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A message is a constant number of IDs (64 bits each) plus O(log n)
+	// payload. The largest message in the protocol is the one-shot
+	// adjacency-list exchange: d+1 IDs (Remark 3 allows a constant number
+	// of IDs since d is a constant).
+	if res.MaxMessageBits > int64(net.Params.D+2)*64 {
+		t.Fatalf("max message = %d bits, too large", res.MaxMessageBits)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	net := testNet(t, 256, 19)
+	if _, err := Run(net, nil, nil, Config{Epsilon: 1.5}); err == nil {
+		t.Fatal("epsilon 1.5 accepted")
+	}
+	if _, err := Run(net, nil, nil, Config{Epsilon: -0.1}); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+	if _, err := Run(net, make([]bool, 7), nil, Config{}); err == nil {
+		t.Fatal("wrong byz length accepted")
+	}
+	if _, err := Run(net, nil, nil, Config{Algorithm: Algorithm(9)}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestMaxPhaseCapReportsUndecided(t *testing.T) {
+	// With MaxPhase 1 nearly everyone is still active (phase 1 almost
+	// always continues), so most nodes must be reported undecided.
+	net := testNet(t, 256, 23)
+	res, err := Run(net, nil, nil, Config{Algorithm: AlgorithmBasic, Seed: 29, MaxPhase: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UndecidedCount < 200 {
+		t.Fatalf("only %d undecided at MaxPhase=1", res.UndecidedCount)
+	}
+}
+
+func TestRecordPhaseActivity(t *testing.T) {
+	net := testNet(t, 256, 29)
+	res, err := Run(net, nil, nil, Config{Algorithm: AlgorithmBasic, Seed: 31, RecordPhaseActivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ActivePerPhase) == 0 {
+		t.Fatal("no activity recorded")
+	}
+	if res.ActivePerPhase[0] != 256 {
+		t.Fatalf("phase 1 active = %d, want 256", res.ActivePerPhase[0])
+	}
+	last := res.ActivePerPhase[len(res.ActivePerPhase)-1]
+	if last != 0 {
+		t.Fatalf("last recorded activity = %d, want 0", last)
+	}
+}
+
+func TestEpsilonControlsEarlyDeciders(t *testing.T) {
+	// Smaller ε means more repetitions per phase, so fewer nodes should
+	// decide strictly before the modal phase.
+	early := func(eps float64) float64 {
+		net := testNet(t, 1024, 37)
+		res, err := Run(net, nil, nil, Config{Algorithm: AlgorithmBasic, Seed: 41, Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[int32]int{}
+		for _, e := range res.Estimates {
+			counts[e]++
+		}
+		var mode int32
+		for e, c := range counts {
+			if c > counts[mode] {
+				mode = e
+			}
+		}
+		earlyCount := 0
+		for _, e := range res.Estimates {
+			if e > 0 && e < mode {
+				earlyCount++
+			}
+		}
+		return float64(earlyCount) / float64(res.N)
+	}
+	strict := early(0.01)
+	loose := early(0.4)
+	if strict > loose+0.02 {
+		t.Fatalf("early-decider fraction: ε=0.01 gives %v, ε=0.4 gives %v", strict, loose)
+	}
+}
+
+// nil2 returns a fresh deterministic rng for Byzantine placement in tests.
+func nil2() *rng.Source { return rng.New(99) }

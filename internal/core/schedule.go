@@ -1,0 +1,78 @@
+package core
+
+import "math"
+
+// Schedule computes the phase structure of Algorithms 1 and 2: the number
+// of subphase repetitions α_i, the per-phase subphase count i·α_i, and the
+// continue-threshold θ_i.
+//
+// The paper's pseudocode gives two α_i branches whose denominators are
+// non-positive for i ≤ 2 and one of which grows linearly (contradicting
+// the Θ(log³ n) bound); we implement the rule both derive from
+// (Appendix B, Lemma 26): α_i is the smallest integer with
+// p_i^{α_i} ≤ ε/2^{i+1}, where p_i = min(1/2, 1/(d(d−1)^{i−2})) is the
+// per-subphase failure bound of Lemma 25. See DESIGN.md §1.
+type Schedule struct {
+	D       int
+	Epsilon float64
+}
+
+// failureBound returns p_i, the per-subphase failure probability bound for
+// a safe node in phase i.
+func (s Schedule) failureBound(i int) float64 {
+	if i < 1 {
+		panic("core: phase index must be >= 1")
+	}
+	// 1/(d(d-1)^{i-2}) in log2 space to avoid overflow for large i.
+	log2p := -(math.Log2(float64(s.D)) + float64(i-2)*math.Log2(float64(s.D-1)))
+	if log2p > -1 {
+		log2p = -1 // clamp to 1/2 (i = 1 makes the raw bound exceed 1/2)
+	}
+	return math.Exp2(log2p)
+}
+
+// Alpha returns α_i, the number of independent repetitions per phase-unit;
+// phase i runs i·α_i subphases.
+func (s Schedule) Alpha(i int) int {
+	p := s.failureBound(i)
+	// Smallest α with p^α ≤ ε/2^{i+1}:
+	// α ≥ (log2(1/ε) + i + 1) / log2(1/p).
+	need := (math.Log2(1/s.Epsilon) + float64(i) + 1) / -math.Log2(p)
+	a := int(math.Ceil(need))
+	if a < 1 {
+		a = 1
+	}
+	return a
+}
+
+// Subphases returns the number of subphases in phase i (i·α_i, per
+// Algorithm 1 line 9).
+func (s Schedule) Subphases(i int) int { return i * s.Alpha(i) }
+
+// PhaseRounds returns the number of flooding rounds phase i consumes:
+// i rounds per subphase times i·α_i subphases.
+func (s Schedule) PhaseRounds(i int) int { return i * s.Subphases(i) }
+
+// RoundsThrough returns the cumulative flooding rounds for phases 1..i.
+func (s Schedule) RoundsThrough(i int) int {
+	total := 0
+	for p := 1; p <= i; p++ {
+		total += s.PhaseRounds(p)
+	}
+	return total
+}
+
+// BoundaryLog returns l_i = log₂|Bd(v,i)| = log₂(d(d−1)^{i−1}), the log
+// size of the distance-i boundary of a locally-tree-like ball.
+func (s Schedule) BoundaryLog(i int) float64 {
+	return math.Log2(float64(s.D)) + float64(i-1)*math.Log2(float64(s.D-1))
+}
+
+// Threshold returns θ_i, the minimum final-round fresh color required to
+// continue past phase i (Algorithm 1 line 16 / Algorithm 2 line 18):
+// θ_i = l_i − log₂(l_i), the near-maximum color expected from the
+// ~d(d−1)^{i−1} nodes at distance exactly i.
+func (s Schedule) Threshold(i int) float64 {
+	l := s.BoundaryLog(i)
+	return l - math.Log2(l)
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlphaBoundsFailureProbability(t *testing.T) {
+	s := Schedule{D: 8, Epsilon: 0.1}
+	for i := 1; i <= 40; i++ {
+		a := s.Alpha(i)
+		if a < 1 {
+			t.Fatalf("alpha(%d) = %d < 1", i, a)
+		}
+		p := s.failureBound(i)
+		// The defining property: p^α ≤ ε / 2^{i+1}.
+		if math.Pow(p, float64(a)) > s.Epsilon/math.Exp2(float64(i+1))*(1+1e-9) {
+			t.Fatalf("alpha(%d) = %d does not drive failure below ε/2^{i+1}", i, a)
+		}
+	}
+}
+
+func TestAlphaEventuallyConstant(t *testing.T) {
+	// The text's formula tends to a constant; linear growth would give
+	// Θ(log⁴ n) rounds. Check α_i is non-increasing for large i and small.
+	s := Schedule{D: 8, Epsilon: 0.1}
+	if a := s.Alpha(30); a != 1 {
+		t.Fatalf("alpha(30) = %d, want 1", a)
+	}
+	prev := s.Alpha(3)
+	for i := 4; i <= 30; i++ {
+		a := s.Alpha(i)
+		if a > prev {
+			t.Fatalf("alpha not non-increasing: alpha(%d)=%d > alpha(%d)=%d", i, a, i-1, prev)
+		}
+		prev = a
+	}
+}
+
+func TestAlphaGrowsWithSmallerEpsilon(t *testing.T) {
+	strict := Schedule{D: 8, Epsilon: 0.01}
+	loose := Schedule{D: 8, Epsilon: 0.3}
+	for _, i := range []int{1, 2, 3, 5} {
+		if strict.Alpha(i) < loose.Alpha(i) {
+			t.Fatalf("alpha(%d): stricter ε needs at least as many repetitions", i)
+		}
+	}
+}
+
+func TestRoundsThroughIsCubicInPhase(t *testing.T) {
+	// Σ i²·α_i with eventually-constant α is Θ(I³): check the ratio
+	// RoundsThrough(2I)/RoundsThrough(I) approaches 8.
+	s := Schedule{D: 8, Epsilon: 0.1}
+	r20 := s.RoundsThrough(20)
+	r40 := s.RoundsThrough(40)
+	ratio := float64(r40) / float64(r20)
+	if ratio < 6.5 || ratio > 9.5 {
+		t.Fatalf("rounds scaling ratio = %v, want ~8 (cubic)", ratio)
+	}
+}
+
+func TestThresholdMatchesBoundary(t *testing.T) {
+	s := Schedule{D: 8, Epsilon: 0.1}
+	// θ_i = l_i − log₂ l_i with l_i = log₂(d(d−1)^{i−1}).
+	for i := 1; i <= 10; i++ {
+		l := math.Log2(8) + float64(i-1)*math.Log2(7)
+		want := l - math.Log2(l)
+		if got := s.Threshold(i); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("theta(%d) = %v, want %v", i, got, want)
+		}
+	}
+	// θ grows roughly linearly: each phase adds ~log₂(d−1) minus a
+	// shrinking log-log correction.
+	for i := 2; i <= 20; i++ {
+		delta := s.Threshold(i) - s.Threshold(i-1)
+		if delta <= 0 || delta > math.Log2(7) {
+			t.Fatalf("theta increment at %d = %v out of (0, log2(d-1)]", i, delta)
+		}
+	}
+}
+
+func TestSubphasesAndPhaseRounds(t *testing.T) {
+	s := Schedule{D: 8, Epsilon: 0.1}
+	for i := 1; i <= 12; i++ {
+		if s.Subphases(i) != i*s.Alpha(i) {
+			t.Fatalf("subphases(%d) != i*alpha", i)
+		}
+		if s.PhaseRounds(i) != i*i*s.Alpha(i) {
+			t.Fatalf("phaseRounds(%d) != i²·alpha", i)
+		}
+	}
+	if s.RoundsThrough(3) != s.PhaseRounds(1)+s.PhaseRounds(2)+s.PhaseRounds(3) {
+		t.Fatal("RoundsThrough mismatch")
+	}
+}
+
+func TestFailureBoundPanicsOnBadPhase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for phase 0")
+		}
+	}()
+	Schedule{D: 8, Epsilon: 0.1}.failureBound(0)
+}

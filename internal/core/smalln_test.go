@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hgraph"
+)
+
+// smalln_test.go stresses the engine at degenerate scales: tiny networks,
+// minimum degree, heavy fault loads. None of these configurations carry
+// the paper's guarantees (all bounds are asymptotic); the requirement here
+// is only that the engine terminates cleanly with a consistent Result.
+
+func TestTinyNetworks(t *testing.T) {
+	for _, n := range []int{16, 32, 64} {
+		for _, d := range []int{4, 6, 8} {
+			if n <= d {
+				continue
+			}
+			net, err := hgraph.New(hgraph.Params{N: n, D: d, Seed: uint64(n*100 + d)})
+			if err != nil {
+				t.Fatalf("n=%d d=%d: %v", n, d, err)
+			}
+			res, err := Run(net, nil, nil, Config{
+				Algorithm: AlgorithmByzantine, Seed: uint64(n + d), MaxPhase: 12,
+			})
+			if err != nil {
+				t.Fatalf("n=%d d=%d: %v", n, d, err)
+			}
+			if res.Rounds <= 0 {
+				t.Fatalf("n=%d d=%d: empty run", n, d)
+			}
+			decided := 0
+			for v := 0; v < n; v++ {
+				if res.Estimates[v] > 0 {
+					decided++
+				}
+			}
+			if decided+res.UndecidedCount != res.HonestCount {
+				t.Fatalf("n=%d d=%d: inconsistent partition", n, d)
+			}
+		}
+	}
+}
+
+func TestHeavyFaultLoad(t *testing.T) {
+	// A quarter of the network Byzantine — far beyond any guarantee, but
+	// the simulation must not wedge or panic.
+	const n = 256
+	net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: 601})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := hgraph.PlaceByzantine(n, n/4, nil2())
+	res, err := Run(net, byz, HonestAdversary{}, Config{
+		Algorithm: AlgorithmByzantine, Seed: 603, MaxPhase: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ByzantineCount != n/4 {
+		t.Fatalf("byzantine count %d", res.ByzantineCount)
+	}
+}
+
+func TestAllNodesByzantine(t *testing.T) {
+	// Degenerate: zero honest nodes. The run must return immediately with
+	// an empty-but-consistent result.
+	const n = 64
+	net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: 605})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := make([]bool, n)
+	for i := range byz {
+		byz[i] = true
+	}
+	res, err := Run(net, byz, HonestAdversary{}, Config{
+		Algorithm: AlgorithmByzantine, Seed: 607, MaxPhase: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HonestCount != 0 || res.Rounds != 0 {
+		t.Fatalf("all-byzantine run: honest=%d rounds=%d", res.HonestCount, res.Rounds)
+	}
+}
+
+func TestMinimumDegreeFour(t *testing.T) {
+	// d = 4 gives k = 2: the smallest lattice radius. Verification chains
+	// have length <= 1; the protocol still runs (with weaker tolerance,
+	// as 3/d < δ then requires δ > 0.75).
+	net, err := hgraph.New(hgraph.Params{N: 512, D: 4, Seed: 609})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.K != 2 {
+		t.Fatalf("k = %d, want 2", net.K)
+	}
+	res, err := Run(net, nil, nil, Config{Algorithm: AlgorithmByzantine, Seed: 611})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UndecidedCount != 0 {
+		t.Fatalf("%d undecided at d=4", res.UndecidedCount)
+	}
+}

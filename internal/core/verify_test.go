@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hgraph"
+)
+
+// verifyFixture builds a world on a known network, manually populating
+// held logs so attestation chains can be unit-tested without running the
+// full protocol.
+type verifyFixture struct {
+	w   *World
+	net *hgraph.Network
+}
+
+func newVerifyFixture(t *testing.T, byzIdx []int, adv Adversary) *verifyFixture {
+	t.Helper()
+	net, err := hgraph.New(hgraph.Params{N: 256, D: 8, Seed: 301})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := make([]bool, 256)
+	for _, b := range byzIdx {
+		byz[b] = true
+	}
+	if adv == nil {
+		adv = HonestAdversary{}
+	}
+	cfg := Config{Algorithm: AlgorithmByzantine, Seed: 303}.withDefaults(256)
+	w := newWorld(net, byz, adv, cfg)
+	t.Cleanup(w.Close)
+	adv.Init(w)
+	return &verifyFixture{w: w, net: net}
+}
+
+// holdFrom marks that node x held color c from round r0 onward (monotone
+// held logs, as the engine maintains them).
+func (f *verifyFixture) holdFrom(x int, c int64, r0 int) {
+	for r := r0; r < len(f.w.heldLog[x]); r++ {
+		if f.w.heldLog[x][r] < c {
+			f.w.heldLog[x][r] = c
+		}
+	}
+}
+
+// pathFrom returns some H-path v -> x1 -> x2 starting at a neighbor of v.
+func pathFrom(net *hgraph.Network, v int, length int) []int32 {
+	path := []int32{int32(v)}
+	seen := map[int32]bool{int32(v): true}
+	cur := int32(v)
+	for len(path) <= length {
+		advanced := false
+		for _, nb := range net.H.UniqueNeighbors(int(cur)) {
+			if !seen[nb] {
+				path = append(path, nb)
+				seen[nb] = true
+				cur = nb
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return path
+}
+
+// A color relayed along a genuine chain must verify: generator at x2 held
+// from round 0, relay x1 from round 1, sender w from round 2; v receives
+// at round 3 (k = 3, so the chain is x0=w, x1, x2 with budget 2).
+func TestVerifyAcceptsGenuineChain(t *testing.T) {
+	f := newVerifyFixture(t, nil, nil)
+	path := pathFrom(f.net, 0, 3) // v=0, w=path[1], x1=path[2], x2=path[3]
+	if len(path) < 4 {
+		t.Skip("could not build a 3-hop path")
+	}
+	const c = int64(40)
+	f.holdFrom(int(path[3]), c, 0) // generator
+	f.holdFrom(int(path[2]), c, 1)
+	f.holdFrom(int(path[1]), c, 2)
+	if !f.w.verifyColor(0, path[1], c, 3) {
+		t.Fatal("genuine chain rejected")
+	}
+}
+
+// Without any holder, the same color must be rejected.
+func TestVerifyRejectsUnsupportedColor(t *testing.T) {
+	f := newVerifyFixture(t, nil, nil)
+	path := pathFrom(f.net, 0, 1)
+	if f.w.verifyColor(0, path[1], 40, 3) {
+		t.Fatal("unsupported color accepted")
+	}
+}
+
+// A chain that grounds out too late (generator claims round 1, but the
+// timing requires holding at round 0) must be rejected: this is the
+// "withheld color" case.
+func TestVerifyRejectsLateChain(t *testing.T) {
+	f := newVerifyFixture(t, nil, nil)
+	path := pathFrom(f.net, 0, 3)
+	if len(path) < 4 {
+		t.Skip("could not build a 3-hop path")
+	}
+	const c = int64(40)
+	// Everyone held from round 1 — nobody attests generation at round 0.
+	f.holdFrom(int(path[3]), c, 1)
+	f.holdFrom(int(path[2]), c, 1)
+	f.holdFrom(int(path[1]), c, 2)
+	if f.w.verifyColor(0, path[1], c, 3) {
+		t.Fatal("late chain accepted: a color nobody generated at round 0 passed")
+	}
+}
+
+// At round 1 only the sender's generation attestation matters.
+func TestVerifyRoundOneGeneration(t *testing.T) {
+	f := newVerifyFixture(t, nil, nil)
+	path := pathFrom(f.net, 0, 1)
+	w := path[1]
+	const c = int64(17)
+	if f.w.verifyColor(0, w, c, 1) {
+		t.Fatal("round-1 color accepted without generation")
+	}
+	f.holdFrom(int(w), c, 0)
+	if !f.w.verifyColor(0, w, c, 1) {
+		t.Fatal("round-1 generated color rejected")
+	}
+}
+
+// Attestation with held >= c (not equality) must pass: a bigger color
+// upstream justifies the received one.
+func TestVerifyAcceptsDominatingChain(t *testing.T) {
+	f := newVerifyFixture(t, nil, nil)
+	path := pathFrom(f.net, 0, 3)
+	if len(path) < 4 {
+		t.Skip("could not build a 3-hop path")
+	}
+	f.holdFrom(int(path[3]), 100, 0)
+	f.holdFrom(int(path[2]), 100, 1)
+	f.holdFrom(int(path[1]), 100, 2)
+	if !f.w.verifyColor(0, path[1], 40, 3) {
+		t.Fatal("dominated color rejected despite bigger legit color upstream")
+	}
+}
+
+// attestYes is an adversary whose Byzantine nodes attest to anything.
+type attestYes struct{ HonestAdversary }
+
+func (attestYes) Attest(*World, int, int, int64, int) bool { return true }
+
+// A single Byzantine node (no Byzantine chain) cannot make a round-k color
+// pass: the DFS needs k-1 further attestors beyond the sender and honest
+// ones refuse.
+func TestVerifyRejectsIsolatedByzantineMidSubphase(t *testing.T) {
+	net, err := hgraph.New(hgraph.Params{N: 256, D: 8, Seed: 301})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a Byzantine node whose neighbors are all honest and find an
+	// honest victim adjacent to it.
+	b := 13
+	byz := make([]bool, 256)
+	byz[b] = true
+	cfg := Config{Algorithm: AlgorithmByzantine, Seed: 303}.withDefaults(256)
+	adv := attestYes{}
+	w := newWorld(net, byz, adv, cfg)
+	defer w.Close()
+	victim := int(net.H.UniqueNeighbors(b)[0])
+	// t = k = 3: needs a chain of 2 beyond b; all of b's neighbors are
+	// honest with empty logs.
+	if w.verifyColor(victim, int32(b), 1<<30, 3) {
+		t.Fatal("isolated Byzantine injected at round k")
+	}
+	// But t = 1 must pass (generation claim, Lemma 16 allows it).
+	if !w.verifyColor(victim, int32(b), 1<<30, 1) {
+		t.Fatal("round-1 Byzantine generation claim rejected")
+	}
+}
+
+// The simple-path rule: two adjacent Byzantine nodes must not be able to
+// simulate a longer chain by bouncing the attestation between themselves
+// (w -> b2 -> w -> b2 ...).
+func TestVerifySimplePathPreventsBouncing(t *testing.T) {
+	net, err := hgraph.New(hgraph.Params{N: 256, D: 8, Seed: 301})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an H-adjacent pair to make Byzantine.
+	var b1, b2 int = -1, -1
+	for v := 0; v < 256 && b1 < 0; v++ {
+		nb := net.H.UniqueNeighbors(v)
+		if len(nb) > 0 {
+			b1, b2 = v, int(nb[0])
+		}
+	}
+	byz := make([]bool, 256)
+	byz[b1], byz[b2] = true, true
+	cfg := Config{Algorithm: AlgorithmByzantine, Seed: 303}.withDefaults(256)
+	w := newWorld(net, byz, attestYes{}, cfg)
+	defer w.Close()
+
+	// Victim adjacent to b1 but not Byzantine.
+	victim := -1
+	for _, nb := range net.H.UniqueNeighbors(b1) {
+		if !byz[nb] {
+			victim = int(nb)
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no honest victim adjacent to the pair")
+	}
+	// t = k = 3 needs chain b1 -> x1 -> x2 with distinct x's; the pair can
+	// only offer b1 -> b2 -> (honest, refuses) or b1 -> b2 -> b1 (revisit,
+	// blocked). Unless b2 has another Byzantine neighbor, this must fail.
+	thirdByz := false
+	for _, nb := range net.H.UniqueNeighbors(b2) {
+		if byz[nb] && int(nb) != b1 {
+			thirdByz = true
+		}
+	}
+	if thirdByz {
+		t.Skip("accidental byzantine triangle")
+	}
+	if w.verifyColor(victim, int32(b1), 1<<30, 3) {
+		t.Fatal("two Byzantine nodes simulated a 3-chain via path revisits")
+	}
+}

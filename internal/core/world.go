@@ -1,0 +1,173 @@
+package core
+
+import (
+	"repro/internal/hgraph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// World holds the full simulation state of one protocol run. The Adversary
+// reads it freely (full-information model); honest node logic lives in the
+// engine (run.go) and only touches its own node's state within a round.
+type World struct {
+	Net   *hgraph.Network
+	Byz   []bool
+	Cfg   Config
+	Sched Schedule
+	Clock Clock
+
+	held         *sim.Exchange[int64]
+	heldLog      [][]int64 // [node][round] held value after each round of the current subphase
+	color        []int64   // color drawn this subphase (0 if not generating)
+	decided      []int32   // phase at which the node decided; 0 = still active
+	decidedRound []int64   // global round at which the node decided
+	crashed      []bool    // honest nodes that shut down in the exchange
+	continueFlag []bool    // per-phase: some subphase satisfied the continue criterion
+	maxEarly     []int64   // per-subphase: max_{t<i} k_t
+	kFinal       []int64   // per-subphase: k_i
+	colorSrc     []*rng.Source
+
+	// views[v] maps a lying node to the H-adjacency it claimed to v during
+	// the exchange; nil means v's view of the topology is ground truth.
+	views []map[int32][]int32
+
+	byzList  []int32
+	byzSlot  map[int64]int32 // (b<<32 | v) -> index into byzSends
+	byzSends []int64         // latched adversary sends for the current round
+
+	counters       sim.Counters
+	pool           *sim.Pool
+	globalRound    int64
+	adv            Adversary
+	activePerPhase []int
+
+	// Lemma 16 instrumentation (Config.InjectionThreshold > 0):
+	// entryRound is the round the current subphase first saw an injected
+	// color in honest hands; injectionEntries histograms those per run.
+	entryRound       int
+	injectionEntries map[int]int
+
+	// churnCrashes counts mid-run crash failures injected by Config.Churn.
+	churnCrashes int
+}
+
+func byzKey(b, v int32) int64 { return int64(b)<<32 | int64(v) }
+
+func newWorld(net *hgraph.Network, byz []bool, adv Adversary, cfg Config) *World {
+	n := net.H.N()
+	w := &World{
+		Net:          net,
+		Byz:          byz,
+		Cfg:          cfg,
+		Sched:        Schedule{D: net.Params.D, Epsilon: cfg.Epsilon},
+		held:         sim.NewExchange[int64](n),
+		heldLog:      make([][]int64, n),
+		color:        make([]int64, n),
+		decided:      make([]int32, n),
+		decidedRound: make([]int64, n),
+		crashed:      make([]bool, n),
+		continueFlag: make([]bool, n),
+		maxEarly:     make([]int64, n),
+		kFinal:       make([]int64, n),
+		colorSrc:     make([]*rng.Source, n),
+		views:        make([]map[int32][]int32, n),
+		adv:          adv,
+	}
+	logLen := cfg.MaxPhase + 1
+	logs := make([]int64, n*logLen)
+	for v := 0; v < n; v++ {
+		w.heldLog[v] = logs[v*logLen : (v+1)*logLen]
+		w.colorSrc[v] = rng.Split(cfg.Seed, uint64(v))
+	}
+	w.pool = sim.NewPool(cfg.Workers)
+	var slots int32
+	w.byzSlot = make(map[int64]int32)
+	for v := 0; v < n; v++ {
+		if !byz[v] {
+			continue
+		}
+		w.byzList = append(w.byzList, int32(v))
+		for _, nb := range net.H.Neighbors(v) {
+			key := byzKey(int32(v), nb)
+			if _, ok := w.byzSlot[key]; !ok {
+				w.byzSlot[key] = slots
+				slots++
+			}
+		}
+	}
+	w.byzSends = make([]int64, slots)
+	return w
+}
+
+// Close releases the worker pool. Run calls it automatically.
+func (w *World) Close() { w.pool.Close() }
+
+// --- Read accessors (used by adversaries and reports) ---
+
+// N returns the network size (which honest nodes, of course, do not know).
+func (w *World) N() int { return w.Net.H.N() }
+
+// Held returns the color node v currently holds (after the last completed
+// round of the current subphase).
+func (w *World) Held(v int) int64 { return w.held.Cur()[v] }
+
+// HeldLogAt returns the color node v held after round r of the current
+// subphase; r = 0 is the node's own generated color.
+func (w *World) HeldLogAt(v, r int) int64 {
+	if r < 0 || r >= len(w.heldLog[v]) {
+		return 0
+	}
+	return w.heldLog[v][r]
+}
+
+// OwnColor returns the color v generated this subphase (0 if v is not
+// generating: decided, crashed, or Byzantine).
+func (w *World) OwnColor(v int) int64 { return w.color[v] }
+
+// DecidedPhase returns the phase at which v decided, or 0 if still active.
+func (w *World) DecidedPhase(v int) int { return int(w.decided[v]) }
+
+// IsCrashed reports whether honest node v shut itself down in the exchange.
+func (w *World) IsCrashed(v int) bool { return w.crashed[v] }
+
+// IsActive reports whether v is an honest, uncrashed, undecided node.
+func (w *World) IsActive(v int) bool {
+	return !w.Byz[v] && !w.crashed[v] && w.decided[v] == 0
+}
+
+// CoinStream returns a clone of v's protocol coin stream: the adversary can
+// replay every future color v will draw (the paper's adversary knows all
+// current and future random choices).
+func (w *World) CoinStream(v int) *rng.Source { return w.colorSrc[v].Clone() }
+
+// ByzantineNodes returns the indices of the Byzantine nodes.
+func (w *World) ByzantineNodes() []int32 { return w.byzList }
+
+// GlobalRound returns the number of synchronous rounds elapsed.
+func (w *World) GlobalRound() int64 { return w.globalRound }
+
+// Counters returns the communication-cost counters.
+func (w *World) Counters() *sim.Counters { return &w.counters }
+
+// viewNeighbors returns node x's H-adjacency as believed by verifier v:
+// the claim x made to v during the exchange if x lied to v, else ground
+// truth.
+func (w *World) viewNeighbors(v int, x int32) []int32 {
+	if ov := w.views[v]; ov != nil {
+		if claimed, ok := ov[x]; ok {
+			return claimed
+		}
+	}
+	return w.Net.H.Neighbors(int(x))
+}
+
+// activeCount returns the number of honest, uncrashed, undecided nodes.
+func (w *World) activeCount() int {
+	count := 0
+	for v := 0; v < w.N(); v++ {
+		if w.IsActive(v) {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,188 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is a minimal scale for unit-testing the harness itself.
+func tiny() Scale { return Scale{Sizes: []int{256, 512}, Trials: 1, Seed: 3} }
+
+func checkTable(t *testing.T, tb *Table, wantID string) {
+	t.Helper()
+	if tb.ID != wantID {
+		t.Fatalf("table ID = %q, want %q", tb.ID, wantID)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s produced no rows", wantID)
+	}
+	for i, row := range tb.Rows {
+		if len(row) != len(tb.Columns) {
+			t.Fatalf("%s row %d has %d cells for %d columns", wantID, i, len(row), len(tb.Columns))
+		}
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, tb.Title) {
+		t.Fatalf("%s markdown missing title", wantID)
+	}
+	if !strings.Contains(md, "| --- |") && !strings.Contains(md, "--- |") {
+		t.Fatalf("%s markdown missing separator", wantID)
+	}
+}
+
+func TestE01(t *testing.T) { checkTable(t, E01LocallyTreeLike(tiny()), "E1") }
+
+func TestE03(t *testing.T) { checkTable(t, E03SmallWorld(tiny()), "E3") }
+
+func TestE05(t *testing.T) {
+	sc := tiny()
+	tb := E05ByzantineChains(sc)
+	checkTable(t, tb, "E5")
+	// 2 sizes × 3 deltas rows.
+	if len(tb.Rows) != 6 {
+		t.Fatalf("E5 rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE06(t *testing.T) {
+	tb := E06BasicCounting(Scale{Sizes: []int{256}, Trials: 1, Seed: 5})
+	checkTable(t, tb, "E6")
+	if len(tb.Rows) != 3 { // three epsilons
+		t.Fatalf("E6 rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE08(t *testing.T) {
+	tb := E08Baselines(Scale{Sizes: []int{512}, Trials: 1, Seed: 7})
+	checkTable(t, tb, "E8")
+	if len(tb.Rows) != 8 {
+		t.Fatalf("E8 rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE09FitNotes(t *testing.T) {
+	tb := E09Complexity(Scale{Sizes: []int{256, 512, 1024}, Trials: 1, Seed: 9})
+	checkTable(t, tb, "E9")
+	if !strings.Contains(tb.Notes, "R²") {
+		t.Fatalf("E9 missing fit notes: %q", tb.Notes)
+	}
+}
+
+func TestE11(t *testing.T) {
+	tb := E11EpsilonSweep(Scale{Sizes: []int{512}, Trials: 1, Seed: 11})
+	checkTable(t, tb, "E11")
+	if len(tb.Rows) != 5 {
+		t.Fatalf("E11 rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE12(t *testing.T) {
+	tb := E12Injection(Scale{Sizes: []int{512}, Trials: 1, Seed: 13})
+	checkTable(t, tb, "E12")
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+		if ByID(id) == nil {
+			t.Fatalf("ByID(%q) = nil", id)
+		}
+	}
+	if ByID("E99") != nil {
+		t.Fatal("unknown ID resolved")
+	}
+}
+
+// The heavier experiments run under -short guards with minimal scales so
+// every code path is exercised in CI.
+
+func TestE02Heavy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	checkTable(t, E02Expansion(Scale{Sizes: []int{256}, Trials: 1, Seed: 21}), "E2")
+}
+
+func TestE04Heavy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb := E04Reconstruction(Scale{Trials: 1, Seed: 23})
+	checkTable(t, tb, "E4")
+}
+
+func TestE07Heavy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb := E07Theorem1(Scale{Sizes: []int{512}, Trials: 1, Seed: 25})
+	checkTable(t, tb, "E7")
+	if len(tb.Rows) != 7 { // seven adversaries
+		t.Fatalf("E7 rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE10Heavy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	checkTable(t, E10Core(Scale{Sizes: []int{512}, Trials: 1, Seed: 27}), "E10")
+}
+
+func TestE13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb := E13Placement(Scale{Sizes: []int{256}, Trials: 1, Seed: 29})
+	checkTable(t, tb, "E13")
+	if len(tb.Rows) != 3 { // three placements
+		t.Fatalf("E13 rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE14(t *testing.T) {
+	tb := E14Calibration(Scale{Sizes: []int{512}, Trials: 1, Seed: 31})
+	checkTable(t, tb, "E14")
+}
+
+func TestE15(t *testing.T) {
+	tb := E15Churn(Scale{Sizes: []int{256}, Trials: 1, Seed: 33})
+	checkTable(t, tb, "E15")
+	if len(tb.Rows) != 4 { // four churn fractions
+		t.Fatalf("E15 rows = %d", len(tb.Rows))
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow(1, `x,"y`)
+	csv := tb.CSV()
+	want := "a,b\n1,\"x,\"\"y\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestAddRowFormatting(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b", "c"}}
+	tb.AddRow(1, 0.123456789, "x")
+	if tb.Rows[0][0] != "1" || tb.Rows[0][2] != "x" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+	if !strings.HasPrefix(tb.Rows[0][1], "0.1235") {
+		t.Fatalf("float formatting = %q", tb.Rows[0][1])
+	}
+}
+
+func TestSeedForDistinct(t *testing.T) {
+	sc := Quick()
+	seen := map[uint64]bool{}
+	for c := 0; c < 20; c++ {
+		for tr := 0; tr < 5; tr++ {
+			s := sc.seedFor(c, tr)
+			if seen[s] {
+				t.Fatalf("seed collision at config %d trial %d", c, tr)
+			}
+			seen[s] = true
+		}
+	}
+}

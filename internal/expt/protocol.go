@@ -1,0 +1,185 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// runOnce generates a network and executes one protocol run.
+func runOnce(n, byzCount int, adv core.Adversary, alg core.Algorithm, seed uint64, obs core.Observer) (*core.Result, error) {
+	net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	var byz []bool
+	if byzCount > 0 {
+		byz = hgraph.PlaceByzantine(n, byzCount, rng.New(seed+0xB12))
+	}
+	return core.Run(net, byz, adv, core.Config{
+		Algorithm: alg,
+		Seed:      seed + 0x5EED,
+		Observer:  obs,
+	})
+}
+
+// E06BasicCounting validates Algorithm 1 in the Byzantine-free setting:
+// correctness fraction, ratio concentration, and rounds (Lemma 11 + §3.2.2).
+func E06BasicCounting(sc Scale) *Table {
+	t := &Table{
+		ID:    "E6",
+		Title: "Algorithm 1 (basic counting), Byzantine-free",
+		PaperClaim: "§3.2 (Lemmas 11, 13): while i < a·log n at most an ε-fraction decides; by " +
+			"i = b·log n all active nodes decide. Estimates are a constant-factor " +
+			"approximation of log n.",
+		Columns: []string{"n", "ε", "correct fraction", "ratio median (est/log₂n)", "ratio min..max", "rounds", "max phase"},
+		Notes: "The ratio median sits near 1/log₂(d−1) ≈ 0.36 and is stable across n — that " +
+			"stability IS the constant-factor guarantee. Rounds follow the Θ(log³ n) " +
+			"schedule (E9 fits the exponent).",
+	}
+	for ci, n := range sc.Sizes {
+		for _, eps := range []float64{0.05, 0.1, 0.2} {
+			var agg metrics.Aggregate
+			var rmin, rmax float64 = 1e9, 0
+			maxPhase := 0
+			for trial := 0; trial < sc.Trials; trial++ {
+				net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: sc.seedFor(ci, trial)})
+				if err != nil {
+					panic(err)
+				}
+				res, err := core.Run(net, nil, nil, core.Config{
+					Algorithm: core.AlgorithmBasic, Epsilon: eps, Seed: sc.seedFor(ci, trial) + 7,
+				})
+				if err != nil {
+					panic(err)
+				}
+				s := metrics.Summarize(res, metrics.DefaultBand)
+				agg.Add(s)
+				if s.RatioMin < rmin {
+					rmin = s.RatioMin
+				}
+				if s.RatioMax > rmax {
+					rmax = s.RatioMax
+				}
+				if res.Phases > maxPhase {
+					maxPhase = res.Phases
+				}
+			}
+			t.AddRow(n, eps, agg.CorrectFraction.Mean(), agg.RatioMedian.Mean(),
+				formatRange(rmin, rmax), agg.Rounds.Mean(), maxPhase)
+		}
+	}
+	return t
+}
+
+// E07Theorem1 is the headline experiment: Algorithm 2 against every
+// adversary strategy.
+func E07Theorem1(sc Scale) *Table {
+	t := &Table{
+		ID:    "E7",
+		Title: "Theorem 1: Algorithm 2 under attack",
+		PaperClaim: "Theorem 1: with up to O(n^{1−δ}) randomly placed Byzantine nodes, all but " +
+			"an ε-fraction of honest nodes obtain a constant-factor estimate of log n, " +
+			"in Θ(log³ n) rounds, using small messages.",
+		Columns: []string{"n", "B(n)", "adversary", "correct fraction", "survivor correct", "crashed", "undecided", "rounds"},
+		Notes: "δ = 0.75 (B = n^0.25) keeps the Byzantine G-balls from covering the whole " +
+			"graph at laptop n (the G-degree is ~(d−1)^k ≈ 450, a scale effect — " +
+			"asymptotically any δ > 3/d works). TopologyLiar/Combo convert their " +
+			"audience to crashes (Lemma 15): the survivor-correct column shows no " +
+			"surviving node is ever fooled.",
+	}
+	const delta = 0.75
+	for ci, n := range sc.Sizes {
+		b := hgraph.ByzantineBudget(n, delta)
+		for ai, adv := range adversary.All() {
+			var agg metrics.Aggregate
+			for trial := 0; trial < sc.Trials; trial++ {
+				res, err := runOnce(n, b, adv, core.AlgorithmByzantine, sc.seedFor(ci*10+ai, trial), nil)
+				if err != nil {
+					panic(err)
+				}
+				agg.Add(metrics.Summarize(res, metrics.DefaultBand))
+			}
+			t.AddRow(n, b, adv.Name(), agg.CorrectFraction.Mean(), agg.SurvivorCorrect.Mean(),
+				agg.CrashedFraction.Mean(), agg.Undecided.Mean(), agg.Rounds.Mean())
+		}
+	}
+	return t
+}
+
+// E11EpsilonSweep traces the ε knob: smaller ε costs more rounds and
+// produces fewer early (wrong) deciders.
+func E11EpsilonSweep(sc Scale) *Table {
+	t := &Table{
+		ID:    "E11",
+		Title: "Error parameter ε sweep",
+		PaperClaim: "Footnote 3 / Lemma 11: ε controls exactly how large a fraction of honest " +
+			"nodes may fail to get a constant-factor estimate; the schedule invests " +
+			"α_i ∝ log(1/ε) repetitions to buy it.",
+		Columns: []string{"n", "ε", "early deciders (< mode)", "bound ε", "rounds", "subphases phase 3"},
+		Notes: "Early deciders = honest nodes deciding strictly below the modal phase, the " +
+			"empirical analogue of deciding while i < a log n. The measured fraction " +
+			"stays at or below ε while rounds grow as ε shrinks.",
+	}
+	n := sc.Sizes[len(sc.Sizes)-1]
+	for ei, eps := range []float64{0.02, 0.05, 0.1, 0.2, 0.4} {
+		var early, rounds stats.Online
+		for trial := 0; trial < sc.Trials; trial++ {
+			net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: sc.seedFor(ei, trial)})
+			if err != nil {
+				panic(err)
+			}
+			res, err := core.Run(net, nil, nil, core.Config{
+				Algorithm: core.AlgorithmByzantine, Epsilon: eps, Seed: sc.seedFor(ei, trial) + 3,
+			})
+			if err != nil {
+				panic(err)
+			}
+			early.Add(earlyDeciderFraction(res))
+			rounds.Add(float64(res.Rounds))
+		}
+		sched := core.Schedule{D: 8, Epsilon: eps}
+		t.AddRow(n, eps, early.Mean(), eps, rounds.Mean(), sched.Subphases(3))
+	}
+	return t
+}
+
+// earlyDeciderFraction returns the fraction of honest nodes deciding
+// strictly below the modal decided phase.
+func earlyDeciderFraction(res *core.Result) float64 {
+	counts := map[int32]int{}
+	for v := 0; v < res.N; v++ {
+		if e := res.Estimates[v]; e > 0 && !res.Byzantine[v] {
+			counts[e]++
+		}
+	}
+	var mode int32
+	for e, c := range counts {
+		if c > counts[mode] {
+			mode = e
+		}
+	}
+	early, honest := 0, 0
+	for v := 0; v < res.N; v++ {
+		if res.Byzantine[v] {
+			continue
+		}
+		honest++
+		if e := res.Estimates[v]; e > 0 && e < mode {
+			early++
+		}
+	}
+	if honest == 0 {
+		return 0
+	}
+	return float64(early) / float64(honest)
+}
+
+func formatRange(lo, hi float64) string {
+	return fmt.Sprintf("%.3g..%.3g", lo, hi)
+}

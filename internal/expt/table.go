@@ -1,0 +1,107 @@
+// Package expt defines the reproduction experiment suite E1–E12 mapping
+// every quantitative claim of the paper to a measurable run (see DESIGN.md
+// §3 for the index). Each experiment produces a Table that cmd/experiments
+// renders into EXPERIMENTS.md and that bench_test.go regenerates under
+// `go test -bench`.
+package expt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: a titled markdown table plus the paper
+// claim it reproduces.
+type Table struct {
+	ID         string // "E1", "E2", ...
+	Title      string
+	PaperClaim string // the lemma/theorem text being checked
+	Columns    []string
+	Rows       [][]string
+	Notes      string // scale effects, substitutions, interpretation
+}
+
+// AddRow appends a formatted row; values are Sprint'ed.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// CSV renders the table as RFC-4180-ish CSV (header row first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a Markdown section.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.PaperClaim != "" {
+		fmt.Fprintf(&b, "**Paper claim.** %s\n\n", t.PaperClaim)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\n%s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Scale selects the experiment workload.
+type Scale struct {
+	Sizes  []int // network sizes for size sweeps
+	Trials int   // independent trials per configuration
+	Seed   uint64
+}
+
+// Quick is the CI-sized workload (seconds).
+func Quick() Scale { return Scale{Sizes: []int{256, 512, 1024}, Trials: 2, Seed: 1} }
+
+// Full is the report-sized workload (minutes).
+func Full() Scale {
+	return Scale{Sizes: []int{256, 512, 1024, 2048, 4096, 8192}, Trials: 5, Seed: 1}
+}
+
+// seedFor derives a per-(config,trial) seed so experiments are independent
+// yet reproducible.
+func (s Scale) seedFor(config, trial int) uint64 {
+	return s.Seed*1_000_003 + uint64(config)*10_007 + uint64(trial)
+}

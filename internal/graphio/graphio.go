@@ -1,0 +1,129 @@
+// Package graphio serializes the simulator's graphs for external tools:
+// Graphviz DOT (visualization), a plain edge-list format (interchange),
+// and a reader for the edge-list format so saved topologies can be
+// replayed through the protocol.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// DOTOptions controls DOT rendering.
+type DOTOptions struct {
+	Name string // graph name; default "G"
+	// Highlight marks nodes (e.g. Byzantine ones) with a fill color.
+	Highlight []bool
+	// HighlightColor is the fill for highlighted nodes; default "red".
+	HighlightColor string
+	// MaxNodes truncates huge graphs (0 = no limit); edges incident to
+	// dropped nodes are omitted and a comment records the truncation.
+	MaxNodes int
+}
+
+// WriteDOT renders g in Graphviz DOT format.
+func WriteDOT(w io.Writer, g *graph.Graph, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	color := opts.HighlightColor
+	if color == "" {
+		color = "red"
+	}
+	bw := bufio.NewWriter(w)
+	limit := g.N()
+	if opts.MaxNodes > 0 && opts.MaxNodes < limit {
+		limit = opts.MaxNodes
+		fmt.Fprintf(bw, "// truncated to first %d of %d nodes\n", limit, g.N())
+	}
+	fmt.Fprintf(bw, "graph %s {\n", name)
+	fmt.Fprintf(bw, "  node [shape=point];\n")
+	for v := 0; v < limit; v++ {
+		if opts.Highlight != nil && v < len(opts.Highlight) && opts.Highlight[v] {
+			fmt.Fprintf(bw, "  %d [color=%s, shape=circle];\n", v, color)
+		}
+	}
+	for v := 0; v < limit; v++ {
+		for _, u := range g.Neighbors(v) {
+			if int(u) >= v && int(u) < limit { // one line per undirected edge
+				fmt.Fprintf(bw, "  %d -- %d;\n", v, u)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteEdgeList writes "n m" followed by one "u v" line per undirected
+// edge (self-loops appear once, parallel edges repeatedly).
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", g.N(), g.NumEdges())
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if int(u) >= v {
+				fmt.Fprintf(bw, "%d %d\n", v, u)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format back into a Graph.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graphio: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 {
+		return nil, fmt.Errorf("graphio: bad header %q", sc.Text())
+	}
+	n, err := strconv.Atoi(header[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graphio: bad node count %q", header[0])
+	}
+	m, err := strconv.Atoi(header[1])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("graphio: bad edge count %q", header[1])
+	}
+	b := graph.NewBuilder(n)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graphio: line %d: expected 'u v', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %v", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %v", line, err)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graphio: line %d: edge (%d,%d) out of range", line, u, v)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b.NumEdges() != m {
+		return nil, fmt.Errorf("graphio: header promised %d edges, found %d", m, b.NumEdges())
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,141 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/hgraph"
+	"repro/internal/rng"
+)
+
+func cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := cycle(4)
+	var buf bytes.Buffer
+	hl := []bool{false, true, false, false}
+	if err := WriteDOT(&buf, g, DOTOptions{Name: "test", Highlight: hl}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph test {", "0 -- 1;", "0 -- 3;", "1 [color=red"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "--") != 4 {
+		t.Fatalf("expected 4 edges:\n%s", out)
+	}
+}
+
+func TestWriteDOTTruncation(t *testing.T) {
+	g := cycle(100)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, DOTOptions{MaxNodes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "truncated to first 10 of 100") {
+		t.Fatal("missing truncation comment")
+	}
+	if strings.Count(buf.String(), "--") != 9 {
+		t.Fatalf("expected 9 edges after truncation:\n%s", buf.String())
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	h := hgraph.GenerateH(200, 8, rng.New(5))
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != h.N() || back.NumEdges() != h.NumEdges() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			back.N(), back.NumEdges(), h.N(), h.NumEdges())
+	}
+	for v := 0; v < h.N(); v++ {
+		a, b := h.Neighbors(v), back.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d adjacency changed", v)
+			}
+		}
+	}
+}
+
+func TestEdgeListRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 5 + src.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(src.Intn(n), src.Intn(n)) // loops and multi-edges included
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if back.N() != g.N() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			for w := 0; w < n; w++ {
+				if g.EdgeMultiplicity(v, w) != back.EdgeMultiplicity(v, w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "abc\n",
+		"header fields":   "3\n",
+		"bad edge":        "3 1\n0 x\n",
+		"out of range":    "3 1\n0 7\n",
+		"count mismatch":  "3 5\n0 1\n",
+		"malformed tuple": "3 1\n0 1 2\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: no error for %q", name, input)
+		}
+	}
+}
+
+func TestReadEdgeListSkipsComments(t *testing.T) {
+	in := "2 1\n# comment\n\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("edge lost")
+	}
+}

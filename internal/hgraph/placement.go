@@ -1,0 +1,101 @@
+package hgraph
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// placement.go implements non-random Byzantine placements. The paper
+// assumes random placement and leaves adversarial placement as an open
+// problem (§4); these strategies let the experiments probe exactly where
+// that assumption binds (experiment E13): clustered placements manufacture
+// the k-node Byzantine chains that Observation 6 excludes, re-opening the
+// mid-subphase injection channel that chain attestation otherwise closes.
+
+// PlaceByzantineClustered marks count Byzantine nodes by growing a BFS
+// ball from a random seed node: the most chain-friendly placement an
+// adversary controlling node positions could pick.
+func PlaceByzantineClustered(h *graph.Graph, count int, src *rng.Source) []bool {
+	n := h.N()
+	if count < 0 || count > n {
+		panic("hgraph: clustered placement count out of range")
+	}
+	byz := make([]bool, n)
+	if count == 0 {
+		return byz
+	}
+	start := src.Intn(n)
+	scratch := graph.NewBFS(h)
+	scratch.Run(start)
+	for i, v := range scratch.Visited() {
+		if i >= count {
+			break
+		}
+		byz[v] = true
+	}
+	return byz
+}
+
+// PlaceByzantineSpread marks count Byzantine nodes by greedy farthest-point
+// dispersion: each new Byzantine node maximizes its distance to the ones
+// already placed. This is the chain-hostile extreme — even friendlier to
+// the protocol than random placement.
+func PlaceByzantineSpread(h *graph.Graph, count int, src *rng.Source) []bool {
+	n := h.N()
+	if count < 0 || count > n {
+		panic("hgraph: spread placement count out of range")
+	}
+	byz := make([]bool, n)
+	if count == 0 {
+		return byz
+	}
+	first := src.Intn(n)
+	byz[first] = true
+
+	// minDist[v] = distance from v to the nearest placed Byzantine node,
+	// maintained incrementally with one BFS per placement.
+	minDist := make([]int32, n)
+	for i := range minDist {
+		minDist[i] = 1 << 30
+	}
+	scratch := graph.NewBFS(h)
+	update := func(placed int) {
+		d := scratch.Run(placed)
+		for _, v := range scratch.Visited() {
+			if d[v] < minDist[v] {
+				minDist[v] = d[v]
+			}
+		}
+	}
+	update(first)
+	for placed := 1; placed < count; placed++ {
+		best, bestDist := -1, int32(-1)
+		for v := 0; v < n; v++ {
+			if !byz[v] && minDist[v] > bestDist {
+				bestDist = minDist[v]
+				best = v
+			}
+		}
+		byz[best] = true
+		update(best)
+	}
+	return byz
+}
+
+// PlacementFunc names a Byzantine placement strategy for experiment sweeps.
+type PlacementFunc struct {
+	Name  string
+	Place func(h *graph.Graph, count int, src *rng.Source) []bool
+}
+
+// Placements returns the three placement strategies: the paper's random
+// model plus the two adversarial extremes.
+func Placements() []PlacementFunc {
+	return []PlacementFunc{
+		{Name: "random", Place: func(h *graph.Graph, count int, src *rng.Source) []bool {
+			return PlaceByzantine(h.N(), count, src)
+		}},
+		{Name: "clustered", Place: PlaceByzantineClustered},
+		{Name: "spread", Place: PlaceByzantineSpread},
+	}
+}

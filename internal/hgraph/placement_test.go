@@ -1,0 +1,103 @@
+package hgraph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func countTrue(b []bool) int {
+	c := 0
+	for _, x := range b {
+		if x {
+			c++
+		}
+	}
+	return c
+}
+
+func TestClusteredPlacementCounts(t *testing.T) {
+	h := GenerateH(512, 8, rng.New(1))
+	for _, count := range []int{0, 1, 7, 64} {
+		byz := PlaceByzantineClustered(h, count, rng.New(2))
+		if got := countTrue(byz); got != count {
+			t.Fatalf("clustered placed %d, want %d", got, count)
+		}
+	}
+}
+
+func TestClusteredPlacementIsConnectedBall(t *testing.T) {
+	h := GenerateH(512, 8, rng.New(3))
+	byz := PlaceByzantineClustered(h, 30, rng.New(4))
+	// The induced Byzantine subgraph of a BFS-prefix is connected.
+	sub, _ := h.Induced(byz)
+	if !sub.IsConnected() {
+		t.Fatal("clustered placement not connected")
+	}
+	// And therefore contains long chains: with 30 connected nodes of a
+	// bounded-degree graph, a path of length >= k=3 must exist.
+	if chain := LongestByzantineChain(h, byz, 3); chain < 3 {
+		t.Fatalf("clustered placement chain = %d, want >= 3", chain)
+	}
+}
+
+func TestSpreadPlacementCounts(t *testing.T) {
+	h := GenerateH(512, 8, rng.New(5))
+	byz := PlaceByzantineSpread(h, 20, rng.New(6))
+	if got := countTrue(byz); got != 20 {
+		t.Fatalf("spread placed %d, want 20", got)
+	}
+}
+
+func TestSpreadPlacementAvoidsChains(t *testing.T) {
+	h := GenerateH(2048, 8, rng.New(7))
+	byz := PlaceByzantineSpread(h, 45, rng.New(8)) // = n^0.55-ish
+	// Farthest-point placement at this density keeps nodes pairwise
+	// distant: no two Byzantine nodes should even be adjacent.
+	if chain := LongestByzantineChain(h, byz, 3); chain > 1 {
+		t.Fatalf("spread placement produced a %d-chain", chain)
+	}
+}
+
+func TestSpreadVsClusteredChainContrast(t *testing.T) {
+	h := GenerateH(1024, 8, rng.New(9))
+	const count = 32
+	clustered := PlaceByzantineClustered(h, count, rng.New(10))
+	spread := PlaceByzantineSpread(h, count, rng.New(11))
+	cChain := LongestByzantineChain(h, clustered, 10)
+	sChain := LongestByzantineChain(h, spread, 10)
+	if cChain <= sChain {
+		t.Fatalf("clustered chain %d not longer than spread chain %d", cChain, sChain)
+	}
+}
+
+func TestPlacementsRegistry(t *testing.T) {
+	ps := Placements()
+	if len(ps) != 3 {
+		t.Fatalf("placements = %d", len(ps))
+	}
+	h := GenerateH(256, 8, rng.New(12))
+	for _, p := range ps {
+		byz := p.Place(h, 5, rng.New(13))
+		if countTrue(byz) != 5 {
+			t.Fatalf("%s placed wrong count", p.Name)
+		}
+	}
+}
+
+func TestPlacementPanics(t *testing.T) {
+	h := GenerateH(64, 8, rng.New(14))
+	for _, fn := range []func(){
+		func() { PlaceByzantineClustered(h, -1, rng.New(1)) },
+		func() { PlaceByzantineSpread(h, 65, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,141 @@
+// Package metrics turns raw protocol results into the quantities the
+// paper's claims are stated in: the fraction of honest nodes holding a
+// constant-factor estimate of log n, the spread of estimate ratios, round
+// and message totals, and aggregates across independent trials.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Band is an acceptance interval for estimate/log₂(n) ratios: a node is
+// "correct" (Definition 1) if its ratio lies in [Lo, Hi].
+type Band struct{ Lo, Hi float64 }
+
+// DefaultBand is the constant-factor band used throughout the experiments.
+// The empirical ratio concentrates near 1/log₂(d−1) ≈ 0.36 at d = 8; the
+// band is deliberately generous — what matters is that it is FIXED across
+// all n (a constant factor), which experiment E6/E7 verify by tracking the
+// ratio itself.
+var DefaultBand = Band{Lo: 0.15, Hi: 3.0}
+
+// Summary condenses one protocol run.
+type Summary struct {
+	N    int
+	LogN float64
+
+	Honest    int
+	Crashed   int
+	Undecided int
+	Correct   int // honest nodes in band (crashed/undecided count against)
+
+	// CorrectFraction = Correct / Honest: the Theorem 1 quantity.
+	CorrectFraction float64
+	// SurvivorCorrectFraction = Correct / (Honest − Crashed): accuracy among
+	// nodes that did not shut down (Lemma 15 guarantees crashes, not fooling).
+	SurvivorCorrectFraction float64
+
+	RatioMin, RatioMax, RatioMedian, RatioMean float64
+
+	Rounds         int64
+	Phases         int
+	Messages       int64
+	Bits           int64
+	MaxMessageBits int64
+	// BitsPerNodeRound normalizes communication: total bits over honest
+	// nodes and rounds.
+	BitsPerNodeRound float64
+}
+
+// Summarize computes the Summary of r under band.
+func Summarize(r *core.Result, band Band) Summary {
+	s := Summary{
+		N:              r.N,
+		LogN:           r.LogN,
+		Honest:         r.HonestCount,
+		Crashed:        r.CrashedCount,
+		Undecided:      r.UndecidedCount,
+		Rounds:         r.Rounds,
+		Phases:         r.Phases,
+		Messages:       r.Messages,
+		Bits:           r.Bits,
+		MaxMessageBits: r.MaxMessageBits,
+	}
+	var ratios []float64
+	for v := 0; v < r.N; v++ {
+		// Crashed nodes are never "correct": even if they decided before
+		// crashing (possible under churn), they are no longer part of the
+		// live system the guarantee speaks about.
+		if r.Byzantine[v] || r.Crashed[v] {
+			continue
+		}
+		ratio, ok := r.Ratio(v)
+		if !ok {
+			continue
+		}
+		ratios = append(ratios, ratio)
+		if ratio >= band.Lo && ratio <= band.Hi {
+			s.Correct++
+		}
+	}
+	if s.Honest > 0 {
+		s.CorrectFraction = float64(s.Correct) / float64(s.Honest)
+	}
+	if survivors := s.Honest - s.Crashed; survivors > 0 {
+		s.SurvivorCorrectFraction = float64(s.Correct) / float64(survivors)
+	}
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		s.RatioMin = ratios[0]
+		s.RatioMax = ratios[len(ratios)-1]
+		s.RatioMedian = stats.Median(ratios)
+		s.RatioMean = stats.Mean(ratios)
+	}
+	if s.Honest > 0 && r.Rounds > 0 {
+		s.BitsPerNodeRound = float64(r.Bits) / (float64(s.Honest) * float64(r.Rounds))
+	}
+	return s
+}
+
+// String renders a compact one-line summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d correct=%.3f (survivors %.3f) crashed=%d undecided=%d ratio[med %.2f, %.2f..%.2f] rounds=%d",
+		s.N, s.CorrectFraction, s.SurvivorCorrectFraction, s.Crashed, s.Undecided,
+		s.RatioMedian, s.RatioMin, s.RatioMax, s.Rounds)
+}
+
+// Aggregate accumulates summaries across independent trials.
+type Aggregate struct {
+	Trials          int
+	CorrectFraction stats.Online
+	SurvivorCorrect stats.Online
+	CrashedFraction stats.Online
+	Undecided       stats.Online
+	RatioMedian     stats.Online
+	Rounds          stats.Online
+	Messages        stats.Online
+	BitsPerNodeRnd  stats.Online
+	MaxMsgBits      int64
+}
+
+// Add incorporates one run's summary.
+func (a *Aggregate) Add(s Summary) {
+	a.Trials++
+	a.CorrectFraction.Add(s.CorrectFraction)
+	a.SurvivorCorrect.Add(s.SurvivorCorrectFraction)
+	if s.Honest > 0 {
+		a.CrashedFraction.Add(float64(s.Crashed) / float64(s.Honest))
+		a.Undecided.Add(float64(s.Undecided) / float64(s.Honest))
+	}
+	a.RatioMedian.Add(s.RatioMedian)
+	a.Rounds.Add(float64(s.Rounds))
+	a.Messages.Add(float64(s.Messages))
+	a.BitsPerNodeRnd.Add(s.BitsPerNodeRound)
+	if s.MaxMessageBits > a.MaxMsgBits {
+		a.MaxMsgBits = s.MaxMessageBits
+	}
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hgraph"
+)
+
+// fabricate builds a synthetic Result for unit testing the accounting.
+func fabricate() *core.Result {
+	// n=8: nodes 0..7; node 0 Byzantine; node 1 crashed; node 2 undecided;
+	// nodes 3..7 decided with estimates {3,3,3,1,30} (logN = 3).
+	r := &core.Result{
+		N:              8,
+		LogN:           3,
+		Estimates:      []int32{0, 0, 0, 3, 3, 3, 1, 30},
+		Crashed:        []bool{false, true, false, false, false, false, false, false},
+		Byzantine:      []bool{true, false, false, false, false, false, false, false},
+		HonestCount:    7,
+		CrashedCount:   1,
+		UndecidedCount: 1,
+		Rounds:         100,
+		Bits:           70000,
+		Messages:       900,
+		MaxMessageBits: 128,
+	}
+	r.DecidedAt = make([]int64, 8)
+	return r
+}
+
+func TestSummarizeCounts(t *testing.T) {
+	s := Summarize(fabricate(), Band{Lo: 0.5, Hi: 2.0})
+	// Ratios: node 3,4,5 → 1.0 (in band); node 6 → 1/3 (out); node 7 → 10 (out).
+	if s.Correct != 3 {
+		t.Fatalf("correct = %d, want 3", s.Correct)
+	}
+	if math.Abs(s.CorrectFraction-3.0/7) > 1e-12 {
+		t.Fatalf("fraction = %v, want 3/7", s.CorrectFraction)
+	}
+	if math.Abs(s.SurvivorCorrectFraction-3.0/6) > 1e-12 {
+		t.Fatalf("survivor fraction = %v, want 1/2", s.SurvivorCorrectFraction)
+	}
+	if s.Crashed != 1 || s.Undecided != 1 {
+		t.Fatalf("crashed=%d undecided=%d", s.Crashed, s.Undecided)
+	}
+	if s.RatioMin != 1.0/3 || s.RatioMax != 10 {
+		t.Fatalf("ratio range [%v, %v]", s.RatioMin, s.RatioMax)
+	}
+	if s.RatioMedian != 1.0 {
+		t.Fatalf("ratio median %v", s.RatioMedian)
+	}
+	// Bits per node-round: 70000 / (7 * 100) = 100.
+	if math.Abs(s.BitsPerNodeRound-100) > 1e-9 {
+		t.Fatalf("bits/node/round = %v", s.BitsPerNodeRound)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var agg Aggregate
+	s := Summarize(fabricate(), DefaultBand)
+	agg.Add(s)
+	agg.Add(s)
+	if agg.Trials != 2 {
+		t.Fatalf("trials = %d", agg.Trials)
+	}
+	if agg.CorrectFraction.Mean() != s.CorrectFraction {
+		t.Fatalf("agg mean %v vs %v", agg.CorrectFraction.Mean(), s.CorrectFraction)
+	}
+	if agg.MaxMsgBits != 128 {
+		t.Fatalf("max bits %d", agg.MaxMsgBits)
+	}
+}
+
+func TestSummarizeRealRun(t *testing.T) {
+	net, err := hgraph.New(hgraph.Params{N: 512, D: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(net, nil, nil, core.Config{Algorithm: core.AlgorithmBasic, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(res, DefaultBand)
+	if s.CorrectFraction < 0.9 {
+		t.Fatalf("real run correct fraction %v", s.CorrectFraction)
+	}
+	if s.RatioMin <= 0 || s.RatioMax < s.RatioMin {
+		t.Fatalf("ratio range [%v, %v]", s.RatioMin, s.RatioMax)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSummarizeEmptyHonest(t *testing.T) {
+	r := &core.Result{
+		N:         1,
+		LogN:      0,
+		Estimates: []int32{0},
+		Crashed:   []bool{false},
+		Byzantine: []bool{true},
+	}
+	r.DecidedAt = []int64{0}
+	s := Summarize(r, DefaultBand)
+	if s.CorrectFraction != 0 || s.SurvivorCorrectFraction != 0 {
+		t.Fatal("degenerate run should report zeros")
+	}
+}

@@ -1,0 +1,167 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hgraph"
+	"repro/internal/rng"
+)
+
+func cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// The normalized adjacency spectrum of C_n is {cos(2πj/n)}. For even n the
+// most negative eigenvalue is -1, so max|λ_nontrivial| = 1. Use odd n where
+// it is max(cos(2π/n), |cos(π(n-1)/n)|) = cos(π/n) for the negative end...
+// simplest check: λ for C_n (odd) ≥ cos(2π/n) and ≤ 1.
+func TestSecondEigenCycle(t *testing.T) {
+	n := 31
+	g := cycle(n)
+	res, _ := SecondEigen(g, Options{})
+	if !res.Converged {
+		t.Fatal("did not converge on C31")
+	}
+	// Exact: eigenvalues cos(2πj/n); the largest magnitude nontrivial one
+	// for odd n is |cos(π(n-1)/n)| = cos(π/n).
+	want := math.Cos(math.Pi / float64(n))
+	if math.Abs(res.Lambda-want) > 1e-6 {
+		t.Fatalf("C%d lambda = %v, want %v", n, res.Lambda, want)
+	}
+}
+
+// K_n normalized adjacency: eigenvalues 1 and -1/(n-1).
+func TestSecondEigenComplete(t *testing.T) {
+	n := 12
+	g := complete(n)
+	res, _ := SecondEigen(g, Options{})
+	want := 1.0 / float64(n-1)
+	if math.Abs(res.Lambda-want) > 1e-6 {
+		t.Fatalf("K%d lambda = %v, want %v", n, res.Lambda, want)
+	}
+	if res.Gap < 0.9 {
+		t.Fatalf("K%d gap = %v, want ~%v", n, res.Gap, 1-want)
+	}
+}
+
+// Two disjoint cliques joined by a single edge: conductance must be tiny
+// and the sweep cut must find the bottleneck (half the nodes).
+func TestSweepCutFindsBottleneck(t *testing.T) {
+	const half = 10
+	b := graph.NewBuilder(2 * half)
+	for i := 0; i < half; i++ {
+		for j := i + 1; j < half; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(half+i, half+j)
+		}
+	}
+	b.AddEdge(0, half)
+	g := b.Build()
+	res, vec := SecondEigen(g, Options{})
+	if res.Gap > 0.2 {
+		t.Fatalf("barbell gap = %v, should be near 0", res.Gap)
+	}
+	phi, h, size := SweepCut(g, vec)
+	if size != half {
+		t.Fatalf("sweep found cut of size %d, want %d", size, half)
+	}
+	// One crossing edge: φ = 1/vol(half) and h = 1/half.
+	if phi > 0.03 {
+		t.Fatalf("conductance = %v, want ~1/91", phi)
+	}
+	if math.Abs(h-1.0/half) > 1e-9 {
+		t.Fatalf("edge expansion = %v, want %v", h, 1.0/half)
+	}
+}
+
+// Lemma 19 shape: H(n,d) spectral gap bounded away from zero, λ near the
+// Ramanujan reference 2√(d−1)/d.
+func TestHGraphIsExpander(t *testing.T) {
+	for _, d := range []int{8, 12} {
+		h := hgraph.GenerateH(2048, d, rng.New(uint64(d)))
+		m := Measure(h, Options{})
+		if !m.Converged {
+			t.Fatalf("d=%d: did not converge", d)
+		}
+		if m.Gap < 0.2 {
+			t.Fatalf("d=%d: gap = %v, want >= 0.2", d, m.Gap)
+		}
+		// Friedman: λ ≤ 2√(d−1)/d + o(1) w.h.p. Allow 20% slack for the
+		// o(1) term at n=2048.
+		if m.Lambda > m.RamanujanRef*1.2 {
+			t.Fatalf("d=%d: lambda = %v exceeds Ramanujan ref %v by >20%%", d, m.Lambda, m.RamanujanRef)
+		}
+		if m.EdgeExpansion < 0.5 {
+			t.Fatalf("d=%d: edge expansion = %v too small", d, m.EdgeExpansion)
+		}
+	}
+}
+
+// The mixing bound should be Θ(log n) for expanders.
+func TestMixingBoundScaling(t *testing.T) {
+	m1 := Measure(hgraph.GenerateH(512, 8, rng.New(1)), Options{})
+	m2 := Measure(hgraph.GenerateH(4096, 8, rng.New(2)), Options{})
+	if m2.MixingBound <= m1.MixingBound {
+		t.Fatalf("mixing bound not increasing: %v -> %v", m1.MixingBound, m2.MixingBound)
+	}
+	if m2.MixingBound > 3*m1.MixingBound {
+		t.Fatalf("mixing bound grew superlogarithmically: %v -> %v", m1.MixingBound, m2.MixingBound)
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	res, _ := SecondEigen(empty, Options{})
+	if !res.Converged {
+		t.Fatal("empty graph should trivially converge")
+	}
+	single := graph.NewBuilder(1).Build()
+	res, vec := SecondEigen(single, Options{})
+	if !res.Converged {
+		t.Fatal("single isolated vertex should converge")
+	}
+	phi, h, _ := SweepCut(single, vec)
+	if phi != 0 || h != 0 {
+		t.Fatalf("sweep on single vertex: %v %v", phi, h)
+	}
+}
+
+func TestMeasureOnDisconnected(t *testing.T) {
+	// Two disjoint edges: λ = 1 (second component carries a copy of the
+	// top eigenvalue), so the gap is 0 and the mixing bound infinite.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	m := Measure(g, Options{})
+	if m.Lambda < 0.99 {
+		t.Fatalf("disconnected lambda = %v, want ~1", m.Lambda)
+	}
+	if !math.IsInf(m.MixingBound, 1) && m.MixingBound < 100 {
+		t.Fatalf("disconnected mixing bound should be huge, got %v", m.MixingBound)
+	}
+}
+
+func BenchmarkSecondEigenH2048(b *testing.B) {
+	h := hgraph.GenerateH(2048, 8, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SecondEigen(h, Options{})
+	}
+}

@@ -1,0 +1,237 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: online moments, quantiles, histograms, least-squares
+// fits in log space (for round-complexity exponents), and binomial
+// confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Online accumulates mean and variance with Welford's algorithm.
+// The zero value is ready to use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x.
+func (o *Online) Add(x float64) {
+	if o.n == 0 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.n++
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// N returns the number of samples.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the sample mean (0 for no samples).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Var returns the unbiased sample variance (0 for < 2 samples).
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Var()) }
+
+// Min returns the smallest sample (0 for no samples).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest sample (0 for no samples).
+func (o *Online) Max() float64 { return o.max }
+
+// StdErr returns the standard error of the mean.
+func (o *Online) StdErr() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.Std() / math.Sqrt(float64(o.n))
+}
+
+// String renders "mean ± stderr".
+func (o *Online) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", o.Mean(), o.StdErr())
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+// The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Histogram counts samples into uniform-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Under    int // samples below Min
+	Over     int // samples above Max
+}
+
+// NewHistogram creates a histogram with bins uniform bins over [min, max].
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins <= 0 || max <= min {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+}
+
+// Add records x.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Min:
+		h.Under++
+	case x > h.Max:
+		h.Over++
+	default:
+		bin := int(float64(len(h.Counts)) * (x - h.Min) / (h.Max - h.Min))
+		if bin == len(h.Counts) {
+			bin--
+		}
+		h.Counts[bin]++
+	}
+}
+
+// Total returns the number of samples recorded, including out-of-range.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// FitPowerLaw fits y ≈ c · x^p by least squares in log-log space and
+// returns the exponent p, the coefficient c, and R². All inputs must be
+// positive; it panics on mismatched or short inputs.
+func FitPowerLaw(xs, ys []float64) (p, c, r2 float64) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	slope, intercept, r := LinearFit(lx, ly)
+	return slope, math.Exp(intercept), r
+}
+
+// FitPolyLog fits y ≈ c · (log₂ x)^p and returns p, c, R². This is the
+// natural model for the paper's Θ(log³ n) round bound.
+func FitPolyLog(xs, ys []float64) (p, c, r2 float64) {
+	lx := make([]float64, len(xs))
+	for i := range xs {
+		lx[i] = math.Log2(xs[i])
+	}
+	return FitPowerLaw(lx, ys)
+}
+
+// LinearFit fits y ≈ slope·x + intercept by ordinary least squares and
+// returns the coefficients and R². It panics if the inputs differ in
+// length or have fewer than two points.
+func LinearFit(xs, ys []float64) (slope, intercept, r2 float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: LinearFit needs >= 2 equal-length samples")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		panic("stats: LinearFit with constant x")
+	}
+	slope = (n*sxy - sx*sy) / denom
+	intercept = (sy - slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	var ssRes float64
+	for i := range xs {
+		res := ys[i] - (slope*xs[i] + intercept)
+		ssRes += res * res
+	}
+	return slope, intercept, 1 - ssRes/ssTot
+}
+
+// WilsonInterval returns the 95% Wilson score interval for a binomial
+// proportion with successes out of trials.
+func WilsonInterval(successes, trials int) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054 // 97.5th percentile of N(0,1)
+	n := float64(trials)
+	phat := float64(successes) / n
+	denom := 1 + z*z/n
+	center := (phat + z*z/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / denom
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestOnlineMoments(t *testing.T) {
+	var o Online
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if o.N() != 8 {
+		t.Fatalf("N = %d", o.N())
+	}
+	if math.Abs(o.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", o.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(o.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("var = %v, want %v", o.Var(), 32.0/7)
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineZeroValue(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Var() != 0 || o.StdErr() != 0 {
+		t.Fatal("zero-value Online should report zeros")
+	}
+	o.Add(3)
+	if o.Var() != 0 {
+		t.Fatal("single sample variance should be 0")
+	}
+}
+
+// Property: Online matches the two-pass formulas.
+func TestOnlineMatchesTwoPass(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(100)
+		xs := make([]float64, n)
+		var o Online
+		for i := range xs {
+			xs[i] = src.Float64()*200 - 100
+			o.Add(xs[i])
+		}
+		mean := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(n-1)
+		return math.Abs(o.Mean()-mean) < 1e-9 && math.Abs(o.Var()-wantVar) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Median(xs); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 = %v", q)
+	}
+	// Interpolation between order statistics.
+	if q := Quantile([]float64{0, 10}, 0.5); q != 5 {
+		t.Fatalf("interpolated median = %v", q)
+	}
+	// Input not modified.
+	ys := []float64{3, 1, 2}
+	Median(ys)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Quantile modified its input")
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty input")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	// 0 and 1.9 in bin 0; 2 in bin 1; 5 in bin 2; 9.99 and 10 in bin 4.
+	want := []int{2, 1, 1, 0, 2}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("bin %d = %d, want %d (all: %v)", i, h.Counts[i], c, h.Counts)
+		}
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	slope, intercept, r2 := LinearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-3) > 1e-12 {
+		t.Fatalf("fit = %v x + %v", slope, intercept)
+	}
+	if r2 < 1-1e-12 {
+		t.Fatalf("r2 = %v, want 1", r2)
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 3 x^2.5
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 2.5)
+	}
+	p, c, r2 := FitPowerLaw(xs, ys)
+	if math.Abs(p-2.5) > 1e-9 || math.Abs(c-3) > 1e-9 || r2 < 1-1e-9 {
+		t.Fatalf("power fit: p=%v c=%v r2=%v", p, c, r2)
+	}
+}
+
+func TestFitPolyLog(t *testing.T) {
+	// y = 0.5 (log2 x)^3, the paper's round-complexity shape.
+	xs := []float64{256, 512, 1024, 2048, 4096}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 0.5 * math.Pow(math.Log2(x), 3)
+	}
+	p, c, r2 := FitPolyLog(xs, ys)
+	if math.Abs(p-3) > 1e-9 || math.Abs(c-0.5) > 1e-9 || r2 < 1-1e-9 {
+		t.Fatalf("polylog fit: p=%v c=%v r2=%v", p, c, r2)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty interval = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(50, 100)
+	if lo > 0.5 || hi < 0.5 {
+		t.Fatalf("50/100 interval [%v, %v] excludes 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("50/100 interval too wide: [%v, %v]", lo, hi)
+	}
+	// Extremes stay in [0,1] and are one-sided-ish.
+	lo, hi = WilsonInterval(0, 20)
+	if lo != 0 || hi < 0.05 || hi > 0.3 {
+		t.Fatalf("0/20 interval [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(20, 20)
+	if hi != 1 || lo > 0.95 {
+		t.Fatalf("20/20 interval [%v, %v]", lo, hi)
+	}
+}
+
+// Property: Wilson interval always contains the point estimate.
+func TestWilsonContainsPointEstimate(t *testing.T) {
+	f := func(s, n uint8) bool {
+		trials := int(n%100) + 1
+		succ := int(s) % (trials + 1)
+		lo, hi := WilsonInterval(succ, trials)
+		p := float64(succ) / float64(trials)
+		return lo <= p+1e-12 && p <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}

@@ -1,0 +1,196 @@
+// Package trace records structured protocol events (decisions, crashes,
+// color-maximum movements) from a live run via the core.Observer hook,
+// into a bounded ring buffer. It exists for debugging and for post-hoc
+// analysis in the experiment harness; recording is allocation-light so it
+// can stay enabled on large runs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// KindPhase marks the first round of a new phase.
+	KindPhase Kind = iota
+	// KindSubphase marks the first round of a new subphase.
+	KindSubphase
+	// KindDecide records a node fixing its estimate.
+	KindDecide
+	// KindNewGlobalMax records the network-wide held maximum increasing.
+	KindNewGlobalMax
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindPhase:
+		return "phase"
+	case KindSubphase:
+		return "subphase"
+	case KindDecide:
+		return "decide"
+	case KindNewGlobalMax:
+		return "new-max"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	Round    int64 // global round at which the event was observed
+	Phase    int
+	Subphase int
+	T        int // round within the subphase
+	Kind     Kind
+	Node     int32 // the node concerned (-1 for network-wide events)
+	Value    int64 // estimate for decides, color for maxima
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("r%05d i=%d j=%d t=%d %-8s node=%d value=%d",
+		e.Round, e.Phase, e.Subphase, e.T, e.Kind, e.Node, e.Value)
+}
+
+// Recorder implements core.Observer. The zero value is not usable; create
+// with New.
+type Recorder struct {
+	cap       int
+	events    []Event
+	dropped   int
+	lastPhase int
+	lastSub   int
+	decided   []bool
+	globalMax int64
+	counts    map[Kind]int
+}
+
+// New returns a Recorder keeping at most capacity events (older events are
+// dropped, counted in Dropped).
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Recorder{cap: capacity, counts: make(map[Kind]int)}
+}
+
+func (r *Recorder) push(e Event) {
+	r.counts[e.Kind]++
+	if len(r.events) >= r.cap {
+		// Drop the oldest half to amortize (simple ring compaction).
+		half := r.cap / 2
+		copy(r.events, r.events[half:])
+		r.events = r.events[:len(r.events)-half]
+		r.dropped += half
+	}
+	r.events = append(r.events, e)
+}
+
+// RoundEnd implements core.Observer.
+func (r *Recorder) RoundEnd(w *core.World) {
+	clock := w.Clock
+	base := Event{Round: w.GlobalRound(), Phase: clock.Phase, Subphase: clock.Subphase, T: clock.Round, Node: -1}
+
+	if clock.Phase != r.lastPhase {
+		r.lastPhase = clock.Phase
+		r.lastSub = 0
+		e := base
+		e.Kind = KindPhase
+		r.push(e)
+	}
+	if clock.Subphase != r.lastSub {
+		r.lastSub = clock.Subphase
+		e := base
+		e.Kind = KindSubphase
+		r.push(e)
+	}
+
+	n := w.N()
+	var roundMax int64
+	for v := 0; v < n; v++ {
+		if h := w.Held(v); h > roundMax && !w.Byz[v] {
+			roundMax = h
+		}
+	}
+	if roundMax > r.globalMax {
+		r.globalMax = roundMax
+		e := base
+		e.Kind = KindNewGlobalMax
+		e.Value = roundMax
+		r.push(e)
+	}
+	r.scanDecisions(w, base)
+}
+
+// PhaseEnd implements core.PhaseObserver: decisions are assigned after a
+// phase's last round, so they are collected here.
+func (r *Recorder) PhaseEnd(w *core.World) {
+	clock := w.Clock
+	base := Event{Round: w.GlobalRound(), Phase: clock.Phase, Subphase: clock.Subphase, T: clock.Round, Node: -1}
+	r.scanDecisions(w, base)
+}
+
+func (r *Recorder) scanDecisions(w *core.World, base Event) {
+	n := w.N()
+	if r.decided == nil {
+		r.decided = make([]bool, n)
+	}
+	for v := 0; v < n; v++ {
+		if p := w.DecidedPhase(v); p > 0 && !r.decided[v] {
+			r.decided[v] = true
+			e := base
+			e.Kind = KindDecide
+			e.Node = int32(v)
+			e.Value = int64(p)
+			r.push(e)
+		}
+	}
+}
+
+// Events returns the recorded events (oldest first, after any drops).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many old events were discarded to honor the cap.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Count returns how many events of the given kind were observed in total
+// (including dropped ones).
+func (r *Recorder) Count(k Kind) int { return r.counts[k] }
+
+// Filter returns the retained events of one kind.
+func (r *Recorder) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained events, at most limit lines (0 = all).
+func (r *Recorder) Dump(limit int) string {
+	var b strings.Builder
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "... %d earlier events dropped ...\n", r.dropped)
+	}
+	events := r.events
+	if limit > 0 && len(events) > limit {
+		events = events[len(events)-limit:]
+		fmt.Fprintf(&b, "... showing last %d ...\n", limit)
+	}
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+var _ core.Observer = (*Recorder)(nil)

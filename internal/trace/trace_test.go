@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hgraph"
+)
+
+func runWithRecorder(t *testing.T, capacity int) (*Recorder, *core.Result) {
+	t.Helper()
+	net, err := hgraph.New(hgraph.Params{N: 256, D: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := New(capacity)
+	res, err := core.Run(net, nil, nil, core.Config{
+		Algorithm: core.AlgorithmBasic, Seed: 7, Observer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res
+}
+
+func TestRecorderCapturesDecisions(t *testing.T) {
+	rec, res := runWithRecorder(t, 1<<20)
+	decides := rec.Count(KindDecide)
+	want := res.HonestCount - res.UndecidedCount
+	if decides != want {
+		t.Fatalf("recorded %d decisions, want %d", decides, want)
+	}
+	// Every decide event carries the node's final estimate.
+	for _, e := range rec.Filter(KindDecide) {
+		if e.Node < 0 || int(e.Node) >= res.N {
+			t.Fatalf("decide event with bad node %d", e.Node)
+		}
+		if int32(e.Value) != res.Estimates[e.Node] {
+			t.Fatalf("decide value %d != estimate %d", e.Value, res.Estimates[e.Node])
+		}
+	}
+}
+
+func TestRecorderPhaseEvents(t *testing.T) {
+	rec, res := runWithRecorder(t, 1<<20)
+	phases := rec.Filter(KindPhase)
+	if len(phases) == 0 {
+		t.Fatal("no phase events")
+	}
+	// Phases must be observed in increasing order 1, 2, ...
+	for i, e := range phases {
+		if e.Phase != i+1 {
+			t.Fatalf("phase event %d has Phase=%d", i, e.Phase)
+		}
+	}
+	if last := phases[len(phases)-1].Phase; last < res.Phases {
+		t.Fatalf("last phase event %d < max decided phase %d", last, res.Phases)
+	}
+}
+
+func TestRecorderGlobalMaxMonotone(t *testing.T) {
+	rec, _ := runWithRecorder(t, 1<<20)
+	maxima := rec.Filter(KindNewGlobalMax)
+	if len(maxima) == 0 {
+		t.Fatal("no max events")
+	}
+	// Within a subphase maxima increase; values reset between subphases,
+	// so compare only inside one (phase, subphase) block.
+	for i := 1; i < len(maxima); i++ {
+		a, b := maxima[i-1], maxima[i]
+		if a.Phase == b.Phase && a.Subphase == b.Subphase && b.Value <= a.Value {
+			t.Fatalf("non-increasing max within a subphase: %v then %v", a, b)
+		}
+	}
+}
+
+func TestRecorderCapAndDrop(t *testing.T) {
+	rec, _ := runWithRecorder(t, 64)
+	if len(rec.Events()) > 64 {
+		t.Fatalf("ring exceeded cap: %d", len(rec.Events()))
+	}
+	if rec.Dropped() == 0 {
+		t.Fatal("expected drops with tiny cap")
+	}
+	// Counts include dropped events.
+	if rec.Count(KindDecide) < 200 {
+		t.Fatalf("decide count %d lost dropped events", rec.Count(KindDecide))
+	}
+}
+
+func TestDump(t *testing.T) {
+	rec, _ := runWithRecorder(t, 128)
+	out := rec.Dump(10)
+	if !strings.Contains(out, "decide") && !strings.Contains(out, "phase") {
+		t.Fatalf("dump missing events:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines > 13 {
+		t.Fatalf("dump too long: %d lines", lines)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindPhase: "phase", KindSubphase: "subphase",
+		KindDecide: "decide", KindNewGlobalMax: "new-max",
+		Kind(99): "Kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q", int(k), got)
+		}
+	}
+}
+
+func TestNewDefaultCapacity(t *testing.T) {
+	r := New(0)
+	if r.cap != 4096 {
+		t.Fatalf("default cap = %d", r.cap)
+	}
+}
