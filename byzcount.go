@@ -28,6 +28,7 @@ import (
 	"repro/internal/hgraph"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/sweep"
 )
 
 // Re-exported types: the façade keeps example and downstream code on one
@@ -47,6 +48,13 @@ type (
 	Summary = metrics.Summary
 	// Band is an acceptance interval for estimate/log₂(n) ratios.
 	Band = metrics.Band
+	// SweepSpec declares a scenario grid (cartesian products over n, d,
+	// δ, adversary, placement, algorithm, ε, churn, trials).
+	SweepSpec = sweep.Spec
+	// SweepOptions configures sweep execution (workers, cache, store).
+	SweepOptions = sweep.Options
+	// SweepGroup is one grid cell's aggregate across its trials.
+	SweepGroup = sweep.Group
 )
 
 // Algorithm selectors.
@@ -85,6 +93,22 @@ func Run(net *Network, byz []bool, adv Adversary, cfg Config) (*Result, error) {
 
 // Summarize computes a run's headline metrics under the given band.
 func Summarize(r *Result, band Band) Summary { return metrics.Summarize(r, band) }
+
+// Sweep expands spec into its deterministic job grid and executes it
+// through the parallel scheduler, returning per-cell aggregates in grid
+// order. Aggregates are identical for any worker count; set opts.Store
+// to persist results and resume interrupted grids.
+func Sweep(spec SweepSpec, opts SweepOptions) ([]SweepGroup, error) {
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	outs, err := sweep.Run(jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Aggregate(outs), nil
+}
 
 // EstimateLogN is the one-call convenience entry point: generate a
 // network of (hidden) size n, run Algorithm 2 with no Byzantine nodes, and

@@ -1,0 +1,180 @@
+// Command sweep runs a scenario grid through the parallel sweep
+// scheduler: cartesian products over network size, degree, fault
+// exponent δ, placement, adversary, algorithm, ε, and churn expand into
+// content-hashed jobs, execute across a bounded worker set with a shared
+// network cache, and stream into a JSONL result store. Re-running with
+// the same -store skips every job already recorded, so interrupted
+// full-scale sweeps resume where they stopped.
+//
+// Usage:
+//
+//	sweep -n 256,512 -delta 0.75 -adv none,inflate,oracle -trials 8
+//	sweep -spec grid.json -store results.jsonl -workers 8
+//	sweep -spec grid.json -store results.jsonl            # resume
+//
+// Aggregates are identical for any -workers value: execution order never
+// reaches the fold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		specPath   = flag.String("spec", "", "JSON spec file (flags below are ignored when set)")
+		sizes      = flag.String("n", "256,512", "comma-separated network sizes")
+		degrees    = flag.String("d", "8", "comma-separated H-degrees")
+		deltas     = flag.String("delta", "0.75", "comma-separated fault exponents (0 = no faults)")
+		placements = flag.String("placement", "random", "comma-separated placements (random|clustered|spread)")
+		advs       = flag.String("adv", "none,inflate,suppress,oracle,topology-liar,chain-faker,combo", "comma-separated adversaries")
+		algs       = flag.String("alg", "byzantine", "comma-separated algorithms (basic|byzantine)")
+		epsilons   = flag.String("eps", "0", "comma-separated error parameters (0 = default)")
+		churns     = flag.String("churn", "0", "comma-separated churn fractions")
+		trials     = flag.Int("trials", 8, "trials per grid cell")
+		seed       = flag.Uint64("seed", 1, "base seed")
+		workers    = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+		runWorkers = flag.Int("run-workers", 0, "sim workers per job (0 = auto)")
+		cacheCap   = flag.Int("cache", 0, "network cache capacity (0 = default)")
+		storePath  = flag.String("store", "", "JSONL result store (enables resume)")
+		format     = flag.String("format", "md", "aggregate output format: md | csv")
+		outPath    = flag.String("o", "", "write aggregates to this file (default: stdout)")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	var spec sweep.Spec
+	if *specPath != "" {
+		var err error
+		spec, err = sweep.LoadSpec(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		spec = sweep.Spec{
+			Name:        "cli",
+			Sizes:       parseInts(*sizes),
+			Degrees:     parseInts(*degrees),
+			Deltas:      parseFloats(*deltas),
+			Placements:  splitList(*placements),
+			Adversaries: splitList(*advs),
+			Algorithms:  splitList(*algs),
+			Epsilons:    parseFloats(*epsilons),
+			ChurnFracs:  parseFloats(*churns),
+			Trials:      *trials,
+			Seed:        *seed,
+		}
+	}
+
+	jobs, err := spec.Jobs()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "spec %q: %d jobs\n", spec.Name, len(jobs))
+
+	opts := sweep.Options{
+		Workers:    *workers,
+		RunWorkers: *runWorkers,
+		Cache:      sweep.NewNetCache(*cacheCap),
+	}
+	if *storePath != "" {
+		store, err := sweep.OpenStore(*storePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		fmt.Fprintf(os.Stderr, "store %s: %d results on disk\n", *storePath, store.Len())
+		opts.Store = store
+	}
+	if !*quiet {
+		opts.Progress = func(done, total int, out sweep.Outcome) {
+			state := "ran"
+			if out.FromStore {
+				state = "skip"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s\n", done, total, state, out.Job.Label())
+		}
+	}
+
+	start := time.Now()
+	outs, err := sweep.Run(jobs, opts)
+	if err != nil {
+		fatal(err)
+	}
+	ran, skipped := 0, 0
+	for _, o := range outs {
+		if o.FromStore {
+			skipped++
+		} else {
+			ran++
+		}
+	}
+	hits, misses := opts.Cache.Stats()
+	fmt.Fprintf(os.Stderr, "ran %d, resumed %d, %s; network cache %d hits / %d misses\n",
+		ran, skipped, time.Since(start).Round(time.Millisecond), hits, misses)
+
+	groups := sweep.Aggregate(outs)
+	var rendered string
+	switch *format {
+	case "md":
+		rendered = sweep.Markdown(fmt.Sprintf("Sweep %s", spec.Name), groups)
+	case "csv":
+		rendered = sweep.CSV(groups)
+	default:
+		fatal(fmt.Errorf("unknown format %q (want md|csv)", *format))
+	}
+	if *outPath == "" {
+		fmt.Print(rendered)
+		return
+	}
+	if err := os.WriteFile(*outPath, []byte(rendered), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d cells)\n", *outPath, len(groups))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fatal(fmt.Errorf("bad integer %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad number %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}

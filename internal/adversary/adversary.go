@@ -258,6 +258,43 @@ func All() []core.Adversary {
 	}
 }
 
+// ByName returns a fresh instance of the named strategy. Fresh matters:
+// several strategies carry per-run state (Inflate's counter, Oracle's
+// subphase max), and the sweep scheduler runs jobs concurrently, so
+// sharing one instance across runs would race. "" and "none" select nil
+// (no adversary: Byzantine nodes, if any, follow the protocol).
+func ByName(name string) (core.Adversary, bool) {
+	switch name {
+	case "", "none":
+		return nil, true
+	case "honest":
+		return core.HonestAdversary{}, true
+	case "inflate":
+		return &Inflate{}, true
+	case "suppress":
+		return Suppress{}, true
+	case "oracle":
+		return &Oracle{}, true
+	case "topology-liar":
+		return TopologyLiar{}, true
+	case "chain-faker":
+		return &ChainFaker{}, true
+	case "combo":
+		return &Combo{}, true
+	}
+	return nil, false
+}
+
+// Names returns the strategy names resolvable by ByName, in All() order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name()
+	}
+	return names
+}
+
 var (
 	_ core.Adversary = (*Inflate)(nil)
 	_ core.Adversary = Suppress{}

@@ -5,9 +5,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/hgraph"
 	"repro/internal/metrics"
-	"repro/internal/rng"
 	"repro/internal/spectral"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // E10Core measures the Lemma 14/15 pair under the Figure 1 attack: the
@@ -28,20 +28,32 @@ func E10Core(sc Scale) *Table {
 			"as Lemma 15 states. Core gap is the spectral gap of the surviving subgraph.",
 	}
 	const delta = 0.85 // small B so the lie-audience does not cover the graph
+	var jobs []sweep.Job
 	for ci, n := range sc.Sizes {
+		b := hgraph.ByzantineBudget(n, delta)
+		for trial := 0; trial < sc.Trials; trial++ {
+			seed := sc.seedFor(ci, trial)
+			jobs = append(jobs, sweep.Job{
+				Net:       hgraph.Params{N: n, D: 8, Seed: seed},
+				Delta:     delta,
+				ByzCount:  b,
+				PlaceSeed: seed + 5,
+				Adversary: "topology-liar",
+				Algorithm: core.AlgorithmByzantine,
+				RunSeed:   seed + 9,
+			})
+		}
+	}
+	outs := runSweep(jobs, true, nil)
+	idx := 0
+	for _, n := range sc.Sizes {
 		b := hgraph.ByzantineBudget(n, delta)
 		var crashed, coreFrac, coreGap, fooled stats.Online
 		var coreSize, bound int
 		for trial := 0; trial < sc.Trials; trial++ {
-			seed := sc.seedFor(ci, trial)
-			net := hgraph.MustNew(hgraph.Params{N: n, D: 8, Seed: seed})
-			byz := hgraph.PlaceByzantine(n, b, rng.New(seed+5))
-			res, err := core.Run(net, byz, adversary.TopologyLiar{}, core.Config{
-				Algorithm: core.AlgorithmByzantine, Seed: seed + 9,
-			})
-			if err != nil {
-				panic(err)
-			}
+			out := outs[idx]
+			idx++
+			res, net, byz := out.Result, out.Net, out.Byz
 			crashed.Add(float64(res.CrashedCount))
 
 			// Audience bound: union of radius-k balls around liars.
@@ -104,28 +116,37 @@ func E12Injection(sc Scale) *Table {
 			"1..k−1; the subsequent spread to other nodes is honest flooding, which " +
 			"Lemma 17 shows is exactly what guarantees termination by b·log n anyway.",
 	}
+	advNames := []string{"chain-faker", "inflate"}
+	var jobs []sweep.Job
 	for ci, n := range sc.Sizes {
 		b := hgraph.ByzantineBudget(n, 0.75)
-		for ai, adv := range []core.Adversary{&adversary.ChainFaker{}, &adversary.Inflate{}} {
+		for ai, name := range advNames {
+			for trial := 0; trial < sc.Trials; trial++ {
+				seed := sc.seedFor(ci*10+ai, trial)
+				jobs = append(jobs, sweep.Job{
+					Net:                hgraph.Params{N: n, D: 8, Seed: seed},
+					Delta:              0.75,
+					ByzCount:           b,
+					PlaceSeed:          seed + 0xB12,
+					Adversary:          name,
+					Algorithm:          core.AlgorithmByzantine,
+					InjectionThreshold: adversary.InjectBase,
+					RunSeed:            seed + 0x5EED,
+				})
+			}
+		}
+	}
+	outs := runSweep(jobs, true, func(sweep.Job) core.Observer { return adversary.NewDetector() })
+	idx := 0
+	for _, n := range sc.Sizes {
+		for _, name := range advNames {
 			var entries, spread, correct stats.Online
 			maxEntry := 0
 			for trial := 0; trial < sc.Trials; trial++ {
-				det := adversary.NewDetector()
-				seed := sc.seedFor(ci*10+ai, trial)
-				net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: seed})
-				if err != nil {
-					panic(err)
-				}
-				byz := hgraph.PlaceByzantine(n, b, rng.New(seed+0xB12))
-				res, err := core.Run(net, byz, adv, core.Config{
-					Algorithm:          core.AlgorithmByzantine,
-					Seed:               seed + 0x5EED,
-					Observer:           det,
-					InjectionThreshold: adversary.InjectBase,
-				})
-				if err != nil {
-					panic(err)
-				}
+				out := outs[idx]
+				idx++
+				res := out.Result
+				det := out.Observer.(*adversary.Detector)
 				total := 0
 				for _, c := range res.InjectionEntryRounds {
 					total += c
@@ -135,10 +156,10 @@ func E12Injection(sc Scale) *Table {
 					maxEntry = r
 				}
 				spread.Add(float64(det.TotalAccepted))
-				correct.Add(metrics.Summarize(res, metrics.DefaultBand).CorrectFraction)
+				correct.Add(out.Summary.CorrectFraction)
 			}
 			k := hgraph.DefaultK(8)
-			t.AddRow(n, adv.Name(), entries.Mean(), maxEntry, k-1, spread.Mean(), correct.Mean())
+			t.AddRow(n, name, entries.Mean(), maxEntry, k-1, spread.Mean(), correct.Mean())
 		}
 	}
 	return t

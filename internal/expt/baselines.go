@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // E08Baselines is the "who wins" table: every non-Byzantine-tolerant
@@ -89,20 +90,30 @@ func E09Complexity(sc Scale) *Table {
 		Columns: []string{"n", "log₂ n", "rounds (mean)", "schedule prediction", "max msg bits", "bits/node/round"},
 		Notes:   "", // filled with the fit below
 	}
+	var jobs []sweep.Job
+	for ci, n := range sc.Sizes {
+		for trial := 0; trial < sc.Trials; trial++ {
+			seed := sc.seedFor(ci, trial)
+			jobs = append(jobs, sweep.Job{
+				Net:       hgraph.Params{N: n, D: 8, Seed: seed},
+				Algorithm: core.AlgorithmByzantine,
+				RunSeed:   seed + 0x5EED,
+			})
+		}
+	}
+	outs := runSweep(jobs, false, nil)
+	idx := 0
 	var xs, ys []float64
 	var maxBits int64
-	for ci, n := range sc.Sizes {
+	for _, n := range sc.Sizes {
 		var rounds, bitsPer stats.Online
 		for trial := 0; trial < sc.Trials; trial++ {
-			res, err := runOnce(n, 0, nil, core.AlgorithmByzantine, sc.seedFor(ci, trial), nil)
-			if err != nil {
-				panic(err)
-			}
-			s := metrics.Summarize(res, metrics.DefaultBand)
-			rounds.Add(float64(res.Rounds))
+			s := outs[idx].Summary
+			idx++
+			rounds.Add(float64(s.Rounds))
 			bitsPer.Add(s.BitsPerNodeRound)
-			if res.MaxMessageBits > maxBits {
-				maxBits = res.MaxMessageBits
+			if s.MaxMessageBits > maxBits {
+				maxBits = s.MaxMessageBits
 			}
 		}
 		sched := core.Schedule{D: 8, Epsilon: 0.1}

@@ -5,9 +5,9 @@ import (
 	"repro/internal/agreement"
 	"repro/internal/core"
 	"repro/internal/hgraph"
-	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // E13Placement probes the paper's open problem: what happens when the
@@ -35,35 +35,46 @@ func E13Placement(sc Scale) *Table {
 	}
 	const delta = 0.5
 	k := hgraph.DefaultK(8)
+	placements := hgraph.Placements()
+	var jobs []sweep.Job
 	for ci, n := range sc.Sizes {
 		b := hgraph.ByzantineBudget(n, delta)
-		for pi, placement := range hgraph.Placements() {
-			var chain, lateEntries, undecided, correct stats.Online
+		for pi, placement := range placements {
 			for trial := 0; trial < sc.Trials; trial++ {
 				seed := sc.seedFor(ci*10+pi, trial)
-				net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: seed})
-				if err != nil {
-					panic(err)
-				}
-				byz := placement.Place(net.H, b, rng.New(seed+17))
-				chain.Add(float64(hgraph.LongestByzantineChain(net.H, byz, k+3)))
-				res, err := core.Run(net, byz, &adversary.ChainFaker{}, core.Config{
+				jobs = append(jobs, sweep.Job{
+					Net:                hgraph.Params{N: n, D: 8, Seed: seed},
+					Delta:              delta,
+					ByzCount:           b,
+					Placement:          placement.Name,
+					PlaceSeed:          seed + 17,
+					Adversary:          "chain-faker",
 					Algorithm:          core.AlgorithmByzantine,
-					Seed:               seed + 19,
 					InjectionThreshold: adversary.InjectBase,
 					MaxPhase:           14,
+					RunSeed:            seed + 19,
 				})
-				if err != nil {
-					panic(err)
-				}
+			}
+		}
+	}
+	outs := runSweep(jobs, true, nil)
+	idx := 0
+	for _, n := range sc.Sizes {
+		b := hgraph.ByzantineBudget(n, delta)
+		for _, placement := range placements {
+			var chain, lateEntries, undecided, correct stats.Online
+			for trial := 0; trial < sc.Trials; trial++ {
+				out := outs[idx]
+				idx++
+				chain.Add(float64(hgraph.LongestByzantineChain(out.Net.H, out.Byz, k+3)))
 				late := 0
-				for round, count := range res.InjectionEntryRounds {
+				for round, count := range out.Result.InjectionEntryRounds {
 					if round > k-1 {
 						late += count
 					}
 				}
 				lateEntries.Add(float64(late))
-				s := metrics.Summarize(res, metrics.DefaultBand)
+				s := out.Summary
 				undecided.Add(float64(s.Undecided) / float64(s.Honest))
 				correct.Add(s.CorrectFraction)
 			}
@@ -89,24 +100,30 @@ func E15Churn(sc Scale) *Table {
 			"holds through 10%+ node loss; estimates shift by at most one phase because " +
 			"flooding routes around the losses on the remaining expander.",
 	}
+	fracs := []float64{0, 0.02, 0.05, 0.10}
+	var jobs []sweep.Job
 	for ci, n := range sc.Sizes {
-		for fi, frac := range []float64{0, 0.02, 0.05, 0.10} {
-			var crashed, survivorCorrect, undecided, rounds stats.Online
+		for fi, frac := range fracs {
 			for trial := 0; trial < sc.Trials; trial++ {
 				seed := sc.seedFor(ci*10+fi, trial)
-				net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: seed})
-				if err != nil {
-					panic(err)
-				}
-				res, err := core.Run(net, nil, nil, core.Config{
-					Algorithm: core.AlgorithmByzantine,
-					Seed:      seed + 23,
-					Churn:     core.ChurnConfig{Crashes: int(frac * float64(n)), Seed: seed + 29},
+				jobs = append(jobs, sweep.Job{
+					Net:          hgraph.Params{N: n, D: 8, Seed: seed},
+					Algorithm:    core.AlgorithmByzantine,
+					RunSeed:      seed + 23,
+					ChurnCrashes: int(frac * float64(n)),
+					ChurnSeed:    seed + 29,
 				})
-				if err != nil {
-					panic(err)
-				}
-				s := metrics.Summarize(res, metrics.DefaultBand)
+			}
+		}
+	}
+	outs := runSweep(jobs, false, nil)
+	idx := 0
+	for _, n := range sc.Sizes {
+		for _, frac := range fracs {
+			var crashed, survivorCorrect, undecided, rounds stats.Online
+			for trial := 0; trial < sc.Trials; trial++ {
+				s := outs[idx].Summary
+				idx++
 				crashed.Add(float64(s.Crashed))
 				survivorCorrect.Add(s.SurvivorCorrectFraction)
 				undecided.Add(float64(s.Undecided))
@@ -142,7 +159,27 @@ func E16DegreeTradeoff(sc Scale) *Table {
 	const delta = 0.5
 	b := hgraph.ByzantineBudget(n, delta)
 	chainTrials := sc.Trials * 6
-	for di, d := range []int{8, 10, 12} {
+	degrees := []int{8, 10, 12}
+	var jobs []sweep.Job
+	for di, d := range degrees {
+		for trial := 0; trial < sc.Trials; trial++ {
+			seed := sc.seedFor(di*7+3, trial)
+			jobs = append(jobs, sweep.Job{
+				Net:                hgraph.Params{N: n, D: d, Seed: seed},
+				Delta:              delta,
+				ByzCount:           b,
+				PlaceSeed:          seed + 41,
+				Adversary:          "chain-faker",
+				Algorithm:          core.AlgorithmByzantine,
+				InjectionThreshold: adversary.InjectBase,
+				MaxPhase:           14,
+				RunSeed:            seed + 43,
+			})
+		}
+	}
+	outs := runSweep(jobs, true, nil)
+	idx := 0
+	for di, d := range degrees {
 		k := hgraph.DefaultK(d)
 		// Chain probability across many placements.
 		chains := 0
@@ -157,30 +194,17 @@ func E16DegreeTradeoff(sc Scale) *Table {
 		// Protocol under ChainFaker.
 		var late, correct, rounds stats.Online
 		for trial := 0; trial < sc.Trials; trial++ {
-			seed := sc.seedFor(di*7+3, trial)
-			net, err := hgraph.New(hgraph.Params{N: n, D: d, Seed: seed})
-			if err != nil {
-				panic(err)
-			}
-			byz := hgraph.PlaceByzantine(n, b, rng.New(seed+41))
-			res, err := core.Run(net, byz, &adversary.ChainFaker{}, core.Config{
-				Algorithm:          core.AlgorithmByzantine,
-				Seed:               seed + 43,
-				InjectionThreshold: adversary.InjectBase,
-				MaxPhase:           14,
-			})
-			if err != nil {
-				panic(err)
-			}
+			out := outs[idx]
+			idx++
 			lateCount := 0
-			for round, count := range res.InjectionEntryRounds {
+			for round, count := range out.Result.InjectionEntryRounds {
 				if round > k-1 {
 					lateCount += count
 				}
 			}
 			late.Add(float64(lateCount))
-			correct.Add(metrics.Summarize(res, metrics.DefaultBand).CorrectFraction)
-			rounds.Add(float64(res.Rounds))
+			correct.Add(out.Summary.CorrectFraction)
+			rounds.Add(float64(out.Result.Rounds))
 		}
 		t.AddRow(n, d, k, b, float64(chains)/float64(chainTrials), late.Mean(), correct.Mean(), rounds.Mean())
 	}
@@ -206,22 +230,30 @@ func E17Composition(sc Scale) *Table {
 			"agreement at every size; the blind budget degrades as n grows — which is " +
 			"why counting matters.",
 	}
+	var jobs []sweep.Job
 	for ci, n := range sc.Sizes {
-		var withBudget, blind, modalEst, budgetRounds stats.Online
 		for trial := 0; trial < sc.Trials; trial++ {
 			seed := sc.seedFor(ci, trial)
-			net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: seed})
-			if err != nil {
-				panic(err)
-			}
-			b := hgraph.ByzantineBudget(n, 0.75)
-			byz := hgraph.PlaceByzantine(n, b, rng.New(seed+51))
-			res, err := core.Run(net, byz, &adversary.Inflate{}, core.Config{
-				Algorithm: core.AlgorithmByzantine, Seed: seed + 53,
+			jobs = append(jobs, sweep.Job{
+				Net:       hgraph.Params{N: n, D: 8, Seed: seed},
+				Delta:     0.75,
+				ByzCount:  hgraph.ByzantineBudget(n, 0.75),
+				PlaceSeed: seed + 51,
+				Adversary: "inflate",
+				Algorithm: core.AlgorithmByzantine,
+				RunSeed:   seed + 53,
 			})
-			if err != nil {
-				panic(err)
-			}
+		}
+	}
+	outs := runSweep(jobs, true, nil)
+	idx := 0
+	for _, n := range sc.Sizes {
+		var withBudget, blind, modalEst, budgetRounds stats.Online
+		for trial := 0; trial < sc.Trials; trial++ {
+			out := outs[idx]
+			idx++
+			res, net, byz := out.Result, out.Net, out.Byz
+			seed := out.Job.Net.Seed // == sc.seedFor(ci, trial), as the serial suite used
 			counts := map[int32]int{}
 			for v := 0; v < n; v++ {
 				if e := res.Estimates[v]; e > 0 {
@@ -269,13 +301,24 @@ func E14Calibration(sc Scale) *Table {
 			"ratios near 1/log₂(d−1) ≈ 0.36. The ±25% column is the fraction of honest " +
 			"nodes with calibrated estimate in [0.75, 1.25]·log₂ n.",
 	}
+	var jobs []sweep.Job
 	for ci, n := range sc.Sizes {
+		for trial := 0; trial < sc.Trials; trial++ {
+			seed := sc.seedFor(ci, trial)
+			jobs = append(jobs, sweep.Job{
+				Net:       hgraph.Params{N: n, D: 8, Seed: seed},
+				Algorithm: core.AlgorithmByzantine,
+				RunSeed:   seed + 0x5EED,
+			})
+		}
+	}
+	outs := runSweep(jobs, true, nil)
+	idx := 0
+	for _, n := range sc.Sizes {
 		var rawMed, calMed, in25, in40 stats.Online
 		for trial := 0; trial < sc.Trials; trial++ {
-			res, err := runOnce(n, 0, nil, core.AlgorithmByzantine, sc.seedFor(ci, trial), nil)
-			if err != nil {
-				panic(err)
-			}
+			res := outs[idx].Result
+			idx++
 			var raw, cal []float64
 			good25, good40, honest := 0, 0, 0
 			for v := 0; v < n; v++ {

@@ -7,26 +7,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/hgraph"
 	"repro/internal/metrics"
-	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
-
-// runOnce generates a network and executes one protocol run.
-func runOnce(n, byzCount int, adv core.Adversary, alg core.Algorithm, seed uint64, obs core.Observer) (*core.Result, error) {
-	net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	var byz []bool
-	if byzCount > 0 {
-		byz = hgraph.PlaceByzantine(n, byzCount, rng.New(seed+0xB12))
-	}
-	return core.Run(net, byz, adv, core.Config{
-		Algorithm: alg,
-		Seed:      seed + 0x5EED,
-		Observer:  obs,
-	})
-}
 
 // E06BasicCounting validates Algorithm 1 in the Byzantine-free setting:
 // correctness fraction, ratio concentration, and rounds (Lemma 11 + §3.2.2).
@@ -42,23 +25,31 @@ func E06BasicCounting(sc Scale) *Table {
 			"stability IS the constant-factor guarantee. Rounds follow the Θ(log³ n) " +
 			"schedule (E9 fits the exponent).",
 	}
+	epsilons := []float64{0.05, 0.1, 0.2}
+	var jobs []sweep.Job
 	for ci, n := range sc.Sizes {
-		for _, eps := range []float64{0.05, 0.1, 0.2} {
+		for _, eps := range epsilons {
+			for trial := 0; trial < sc.Trials; trial++ {
+				seed := sc.seedFor(ci, trial)
+				jobs = append(jobs, sweep.Job{
+					Net:       hgraph.Params{N: n, D: 8, Seed: seed},
+					Algorithm: core.AlgorithmBasic,
+					Epsilon:   eps,
+					RunSeed:   seed + 7,
+				})
+			}
+		}
+	}
+	outs := runSweep(jobs, false, nil)
+	idx := 0
+	for _, n := range sc.Sizes {
+		for _, eps := range epsilons {
 			var agg metrics.Aggregate
 			var rmin, rmax float64 = 1e9, 0
 			maxPhase := 0
 			for trial := 0; trial < sc.Trials; trial++ {
-				net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: sc.seedFor(ci, trial)})
-				if err != nil {
-					panic(err)
-				}
-				res, err := core.Run(net, nil, nil, core.Config{
-					Algorithm: core.AlgorithmBasic, Epsilon: eps, Seed: sc.seedFor(ci, trial) + 7,
-				})
-				if err != nil {
-					panic(err)
-				}
-				s := metrics.Summarize(res, metrics.DefaultBand)
+				s := outs[idx].Summary
+				idx++
 				agg.Add(s)
 				if s.RatioMin < rmin {
 					rmin = s.RatioMin
@@ -66,8 +57,8 @@ func E06BasicCounting(sc Scale) *Table {
 				if s.RatioMax > rmax {
 					rmax = s.RatioMax
 				}
-				if res.Phases > maxPhase {
-					maxPhase = res.Phases
+				if s.Phases > maxPhase {
+					maxPhase = s.Phases
 				}
 			}
 			t.AddRow(n, eps, agg.CorrectFraction.Mean(), agg.RatioMedian.Mean(),
@@ -94,18 +85,36 @@ func E07Theorem1(sc Scale) *Table {
 			"surviving node is ever fooled.",
 	}
 	const delta = 0.75
+	advNames := adversary.Names()
+	var jobs []sweep.Job
 	for ci, n := range sc.Sizes {
 		b := hgraph.ByzantineBudget(n, delta)
-		for ai, adv := range adversary.All() {
+		for ai, name := range advNames {
+			for trial := 0; trial < sc.Trials; trial++ {
+				seed := sc.seedFor(ci*10+ai, trial)
+				jobs = append(jobs, sweep.Job{
+					Net:       hgraph.Params{N: n, D: 8, Seed: seed},
+					Delta:     delta,
+					ByzCount:  b,
+					PlaceSeed: seed + 0xB12,
+					Adversary: name,
+					Algorithm: core.AlgorithmByzantine,
+					RunSeed:   seed + 0x5EED,
+				})
+			}
+		}
+	}
+	outs := runSweep(jobs, false, nil)
+	idx := 0
+	for _, n := range sc.Sizes {
+		b := hgraph.ByzantineBudget(n, delta)
+		for _, name := range advNames {
 			var agg metrics.Aggregate
 			for trial := 0; trial < sc.Trials; trial++ {
-				res, err := runOnce(n, b, adv, core.AlgorithmByzantine, sc.seedFor(ci*10+ai, trial), nil)
-				if err != nil {
-					panic(err)
-				}
-				agg.Add(metrics.Summarize(res, metrics.DefaultBand))
+				agg.Add(outs[idx].Summary)
+				idx++
 			}
-			t.AddRow(n, b, adv.Name(), agg.CorrectFraction.Mean(), agg.SurvivorCorrect.Mean(),
+			t.AddRow(n, b, name, agg.CorrectFraction.Mean(), agg.SurvivorCorrect.Mean(),
 				agg.CrashedFraction.Mean(), agg.Undecided.Mean(), agg.Rounds.Mean())
 		}
 	}
@@ -127,19 +136,26 @@ func E11EpsilonSweep(sc Scale) *Table {
 			"stays at or below ε while rounds grow as ε shrinks.",
 	}
 	n := sc.Sizes[len(sc.Sizes)-1]
-	for ei, eps := range []float64{0.02, 0.05, 0.1, 0.2, 0.4} {
+	epsilons := []float64{0.02, 0.05, 0.1, 0.2, 0.4}
+	var jobs []sweep.Job
+	for ei, eps := range epsilons {
+		for trial := 0; trial < sc.Trials; trial++ {
+			seed := sc.seedFor(ei, trial)
+			jobs = append(jobs, sweep.Job{
+				Net:       hgraph.Params{N: n, D: 8, Seed: seed},
+				Algorithm: core.AlgorithmByzantine,
+				Epsilon:   eps,
+				RunSeed:   seed + 3,
+			})
+		}
+	}
+	outs := runSweep(jobs, true, nil)
+	idx := 0
+	for _, eps := range epsilons {
 		var early, rounds stats.Online
 		for trial := 0; trial < sc.Trials; trial++ {
-			net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: sc.seedFor(ei, trial)})
-			if err != nil {
-				panic(err)
-			}
-			res, err := core.Run(net, nil, nil, core.Config{
-				Algorithm: core.AlgorithmByzantine, Epsilon: eps, Seed: sc.seedFor(ei, trial) + 3,
-			})
-			if err != nil {
-				panic(err)
-			}
+			res := outs[idx].Result
+			idx++
 			early.Add(earlyDeciderFraction(res))
 			rounds.Add(float64(res.Rounds))
 		}

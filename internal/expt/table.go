@@ -1,13 +1,16 @@
-// Package expt defines the reproduction experiment suite E1–E12 mapping
+// Package expt defines the reproduction experiment suite E1–E17 mapping
 // every quantitative claim of the paper to a measurable run (see DESIGN.md
 // §3 for the index). Each experiment produces a Table that cmd/experiments
 // renders into EXPERIMENTS.md and that bench_test.go regenerates under
-// `go test -bench`.
+// `go test -bench`. The protocol-running experiments execute their runs
+// through the internal/sweep scheduler (see sweeprun.go).
 package expt
 
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/sweep"
 )
 
 // Table is one experiment's output: a titled markdown table plus the paper
@@ -101,7 +104,8 @@ func Full() Scale {
 }
 
 // seedFor derives a per-(config,trial) seed so experiments are independent
-// yet reproducible.
+// yet reproducible. It delegates to the one shared derivation formula in
+// internal/sweep so experiment seeds and sweep-grid seeds cannot diverge.
 func (s Scale) seedFor(config, trial int) uint64 {
-	return s.Seed*1_000_003 + uint64(config)*10_007 + uint64(trial)
+	return sweep.SeedFor(s.Seed, config, trial)
 }

@@ -1,0 +1,37 @@
+package hgraph
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// BenchmarkGenerateH measures the raw expander construction (d/2
+// Hamiltonian cycles), the first half of a network generation.
+func BenchmarkGenerateH(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				GenerateH(n, 8, rng.New(uint64(i)))
+			}
+		})
+	}
+}
+
+// BenchmarkNew measures full network generation — H plus the radius-k
+// lattice closure G = H∪L — the dominant fixed cost of a sweep job,
+// which the sweep cache exists to amortize.
+func BenchmarkNew(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := New(Params{N: n, D: 8, Seed: uint64(i + 1)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -32,6 +32,17 @@ type Params struct {
 // DefaultK returns the paper's lattice radius k = ⌈d/3⌉.
 func DefaultK(d int) int { return (d + 2) / 3 }
 
+// Canonical returns p with defaults resolved (K = ⌈d/3⌉ when zero), so two
+// Params that generate identical networks compare equal. The sweep
+// subsystem's network cache and job content hashes key on the canonical
+// form, letting K=0 and an explicit default K address the same instance.
+func (p Params) Canonical() Params {
+	if p.K == 0 {
+		p.K = DefaultK(p.D)
+	}
+	return p
+}
+
 // Network is a generated instance of the paper's model.
 type Network struct {
 	Params Params

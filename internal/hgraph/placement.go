@@ -99,3 +99,17 @@ func Placements() []PlacementFunc {
 		{Name: "spread", Place: PlaceByzantineSpread},
 	}
 }
+
+// PlacementByName resolves a placement strategy by its Name. The empty
+// string selects the paper's random placement, the default fault model.
+func PlacementByName(name string) (PlacementFunc, bool) {
+	if name == "" {
+		name = "random"
+	}
+	for _, p := range Placements() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PlacementFunc{}, false
+}

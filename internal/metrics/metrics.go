@@ -122,6 +122,24 @@ type Aggregate struct {
 	MaxMsgBits      int64
 }
 
+// Merge folds b's accumulated trials into a, as if every Summary Added to
+// b had been Added to a (up to floating-point reassociation). Sweep
+// aggregation uses it to combine per-cell aggregates into totals.
+func (a *Aggregate) Merge(b Aggregate) {
+	a.Trials += b.Trials
+	a.CorrectFraction.Merge(b.CorrectFraction)
+	a.SurvivorCorrect.Merge(b.SurvivorCorrect)
+	a.CrashedFraction.Merge(b.CrashedFraction)
+	a.Undecided.Merge(b.Undecided)
+	a.RatioMedian.Merge(b.RatioMedian)
+	a.Rounds.Merge(b.Rounds)
+	a.Messages.Merge(b.Messages)
+	a.BitsPerNodeRnd.Merge(b.BitsPerNodeRnd)
+	if b.MaxMsgBits > a.MaxMsgBits {
+		a.MaxMsgBits = b.MaxMsgBits
+	}
+}
+
 // Add incorporates one run's summary.
 func (a *Aggregate) Add(s Summary) {
 	a.Trials++

@@ -38,6 +38,32 @@ func (o *Online) Add(x float64) {
 	o.m2 += delta * (x - o.mean)
 }
 
+// Merge folds other into o, producing the same moments as if every
+// observation Added to other had been Added to o directly (up to
+// floating-point reassociation). This is the parallel-combine step of
+// Chan et al.'s variance formula; the sweep aggregator uses it to fold
+// per-cell aggregates into grand totals.
+func (o *Online) Merge(other Online) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = other
+		return
+	}
+	n1, n2 := float64(o.n), float64(other.n)
+	delta := other.mean - o.mean
+	o.mean += delta * n2 / (n1 + n2)
+	o.m2 += other.m2 + delta*delta*n1*n2/(n1+n2)
+	o.n += other.n
+	if other.min < o.min {
+		o.min = other.min
+	}
+	if other.max > o.max {
+		o.max = other.max
+	}
+}
+
 // N returns the number of samples.
 func (o *Online) N() int { return o.n }
 

@@ -199,3 +199,49 @@ func TestMeanEmpty(t *testing.T) {
 		t.Fatal("Mean(nil) != 0")
 	}
 }
+
+// Property: merging two Online accumulators matches adding every sample
+// to one accumulator directly.
+func TestOnlineMergeMatchesSequential(t *testing.T) {
+	f := func(raw []uint8, split uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)/17 - 5
+		}
+		cut := int(split) % (len(xs) + 1)
+		var whole, left, right Online
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:cut] {
+			left.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			right.Add(x)
+		}
+		left.Merge(right)
+		return left.N() == whole.N() &&
+			math.Abs(left.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(left.Var()-whole.Var()) < 1e-9 &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineMergeEmpty(t *testing.T) {
+	var a, b Online
+	a.Add(3)
+	a.Merge(b) // no-op
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatalf("merge with empty changed a: n=%d mean=%v", a.N(), a.Mean())
+	}
+	b.Merge(a) // adopt
+	if b.N() != 1 || b.Mean() != 3 || b.Min() != 3 || b.Max() != 3 {
+		t.Fatalf("empty.Merge(a) = n=%d mean=%v", b.N(), b.Mean())
+	}
+}

@@ -1,0 +1,72 @@
+package sweep
+
+import (
+	"testing"
+)
+
+// benchSpec is a grid whose cells share topologies per (size, trial):
+// exactly the shape where the network cache pays.
+func benchSpec() Spec {
+	return Spec{
+		Name:        "bench",
+		Sizes:       []int{512},
+		Deltas:      []float64{0.75},
+		Adversaries: []string{"none", "inflate", "suppress", "oracle"},
+		Trials:      2,
+		Seed:        41,
+	}
+}
+
+// BenchmarkSweepCold runs the grid with a fresh single-slot cache per
+// iteration, so nearly every job regenerates its network — the serial
+// suite's old cost model.
+func BenchmarkSweepCold(b *testing.B) {
+	jobs, err := benchSpec().Jobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Capacity 1 with interleaved (trial 0, trial 1) access defeats
+		// reuse without changing any job.
+		if _, err := Run(jobs, Options{Workers: 1, Cache: NewNetCache(1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCached runs the same grid against a pre-warmed cache:
+// the steady-state cost of a resumable sweep's incremental cells.
+func BenchmarkSweepCached(b *testing.B) {
+	jobs, err := benchSpec().Jobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := NewNetCache(0)
+	if _, err := Run(jobs, Options{Workers: 1, Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(jobs, Options{Workers: 1, Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetCacheHit isolates the cache's hot path.
+func BenchmarkNetCacheHit(b *testing.B) {
+	cache := NewNetCache(0)
+	jobs, _ := benchSpec().Jobs()
+	if _, err := cache.Get(jobs[0].Net); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Get(jobs[0].Net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/hgraph"
+)
+
+// NetCache is a bounded, concurrency-safe LRU of generated networks keyed
+// by canonical hgraph.Params. Network generation (the d/2 Hamiltonian
+// cycles plus the radius-k lattice closure) is the dominant fixed cost of
+// a job at experiment scale, so grid cells that share a topology — same
+// (n, d, k, seed), different adversary, ε, algorithm, or churn — should
+// pay it once. Generation is single-flight: concurrent demand for the
+// same Params blocks on one generator instead of duplicating the work.
+//
+// Cached networks are shared across jobs and must be treated as
+// immutable; the protocol engine only reads them.
+type NetCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[hgraph.Params]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key   hgraph.Params
+	ready chan struct{} // closed once net/err are set
+	net   *hgraph.Network
+	err   error
+}
+
+// DefaultCacheCap bounds the cache when the caller does not: a full-scale
+// sweep touches a few dozen distinct topologies per size, and even 8192
+// nodes at d=16 is only a few MB, so a small count-based bound suffices.
+const DefaultCacheCap = 64
+
+// NewNetCache creates a cache holding at most capacity networks
+// (capacity <= 0 selects DefaultCacheCap).
+func NewNetCache(capacity int) *NetCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCap
+	}
+	return &NetCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[hgraph.Params]*list.Element),
+	}
+}
+
+// Get returns the network for p, generating it on first use. Concurrent
+// callers with equal canonical Params share one generation.
+func (c *NetCache) Get(p hgraph.Params) (*hgraph.Network, error) {
+	p = p.Canonical()
+	c.mu.Lock()
+	if el, ok := c.items[p]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready // wait for the in-flight generation if we raced it
+		return e.net, e.err
+	}
+	c.misses++
+	e := &cacheEntry{key: p, ready: make(chan struct{})}
+	c.items[p] = c.ll.PushFront(e)
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+
+	e.net, e.err = hgraph.New(p)
+	close(e.ready)
+	return e.net, e.err
+}
+
+// Stats reports cache hits and misses so far.
+func (c *NetCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached networks.
+func (c *NetCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

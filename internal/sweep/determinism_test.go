@@ -1,0 +1,95 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/rng"
+)
+
+// TestRunDeterministicAcrossSimWorkers is the determinism regression
+// guard for the execution kernel: identical Config/seeds must produce
+// byte-identical Results no matter how the sim.Pool chunks the node loop.
+// Both the sweep scheduler (which divides the machine between job- and
+// run-level parallelism) and reproducibility itself depend on this.
+func TestRunDeterministicAcrossSimWorkers(t *testing.T) {
+	net := hgraph.MustNew(hgraph.Params{N: 512, D: 8, Seed: 17})
+	byz := hgraph.PlaceByzantine(512, 8, rng.New(19))
+	for _, alg := range []core.Algorithm{core.AlgorithmBasic, core.AlgorithmByzantine} {
+		var ref *core.Result
+		for _, workers := range []int{1, 2, 8} {
+			res, err := core.Run(net, byz, nil, core.Config{
+				Algorithm: alg, Seed: 23, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if !reflect.DeepEqual(ref, res) {
+				t.Fatalf("alg %v: Result differs between 1 and %d sim workers", alg, workers)
+			}
+		}
+	}
+}
+
+// TestSweepAggregatesDeterministicAcrossWorkers guards the scheduler: a
+// grid's rendered aggregates — including floating-point rounding — must
+// be identical for 1 and 8 concurrent jobs, because aggregation folds
+// outcomes in expansion order, never completion order.
+func TestSweepAggregatesDeterministicAcrossWorkers(t *testing.T) {
+	spec := Spec{
+		Name:        "det",
+		Sizes:       []int{64, 128},
+		Deltas:      []float64{0, 0.75},
+		Adversaries: []string{"none", "inflate", "suppress"},
+		Trials:      2,
+		Seed:        29,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rendered []string
+	for _, workers := range []int{1, 8} {
+		outs, err := Run(jobs, Options{Workers: workers, RunWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered = append(rendered, Markdown("det", outs2groups(outs)))
+	}
+	if rendered[0] != rendered[1] {
+		t.Fatalf("aggregates differ between 1 and 8 workers:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s",
+			rendered[0], rendered[1])
+	}
+}
+
+// TestSweepSummariesDeterministicAcrossRunWorkerSplit checks the full
+// worker-budget matrix: many jobs × serial runs must equal few jobs ×
+// parallel runs, summary for summary.
+func TestSweepSummariesDeterministicAcrossRunWorkerSplit(t *testing.T) {
+	spec := Spec{Sizes: []int{128}, Deltas: []float64{0.75}, Adversaries: []string{"oracle"}, Trials: 2, Seed: 31}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(jobs, Options{Workers: 4, RunWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(jobs, Options{Workers: 1, RunWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Summary != b[i].Summary {
+			t.Fatalf("job %d: summary differs across worker split", i)
+		}
+	}
+}
+
+func outs2groups(outs []Outcome) []Group { return Aggregate(outs) }

@@ -1,0 +1,204 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// Options configures a sweep execution.
+type Options struct {
+	// Workers is the number of jobs executed concurrently (<= 0 selects
+	// GOMAXPROCS). Job-level parallelism is where the throughput is: one
+	// protocol run has limited internal parallelism, a grid has plenty.
+	Workers int
+	// RunWorkers is the sim.Pool size inside each protocol run (<= 0
+	// divides GOMAXPROCS across Workers, so a saturated scheduler runs
+	// each job serially instead of oversubscribing the machine with
+	// Workers × GOMAXPROCS pool goroutines).
+	RunWorkers int
+	// Band is the acceptance band for summaries (zero: metrics.DefaultBand).
+	Band metrics.Band
+	// Cache reuses generated networks across jobs (nil: a fresh cache of
+	// DefaultCacheCap networks).
+	Cache *NetCache
+	// Store, when non-nil, persists each completed job and — the resume
+	// path — skips any job whose content key the store already holds.
+	Store *Store
+	// KeepResults retains each job's full core.Result, its network, and
+	// its Byzantine vector on the Outcome, for callers (the experiment
+	// suite) that need more than the Summary. Off for large grids: a
+	// Result holds O(n) state per job.
+	KeepResults bool
+	// Observer, when non-nil, supplies a per-job observer; the instance
+	// is returned on the Outcome so callers can read what it saw.
+	Observer func(Job) core.Observer
+	// Progress, when non-nil, is called serially after each job completes
+	// (or is satisfied from the store).
+	Progress func(done, total int, out Outcome)
+}
+
+// Outcome is one job's result, in expansion order.
+type Outcome struct {
+	Job     Job
+	Summary metrics.Summary
+	// FromStore marks jobs satisfied by the result store without running.
+	FromStore bool
+	Err       error
+
+	// Populated only when Options.KeepResults is set and the job actually
+	// ran (store hits carry only the Summary):
+	Result   *core.Result
+	Net      *hgraph.Network
+	Byz      []bool
+	Observer core.Observer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.RunWorkers <= 0 {
+		o.RunWorkers = runtime.GOMAXPROCS(0) / o.Workers
+		if o.RunWorkers < 1 {
+			o.RunWorkers = 1
+		}
+	}
+	if o.Band == (metrics.Band{}) {
+		o.Band = metrics.DefaultBand
+	}
+	if o.Cache == nil {
+		o.Cache = NewNetCache(0)
+	}
+	return o
+}
+
+// Run executes jobs across a bounded worker set and returns one Outcome
+// per job, in job order regardless of completion order. Jobs found in the
+// store are skipped; everything else runs, is summarized under
+// opts.Band, and (with a store) is persisted as it completes. The first
+// job error, in job order, is returned alongside the full outcome slice.
+func Run(jobs []Job, opts Options) ([]Outcome, error) {
+	opts = opts.withDefaults()
+	outs := make([]Outcome, len(jobs))
+
+	// Resolve store hits up front so the worker loop only sees real work.
+	var pending []int
+	for i, j := range jobs {
+		if opts.Store != nil {
+			if rec, ok := opts.Store.Lookup(j.Key()); ok {
+				outs[i] = Outcome{Job: j, Summary: rec.Summary, FromStore: true}
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	var (
+		progressMu sync.Mutex
+		done       int
+	)
+	report := func(i int) {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		opts.Progress(done, len(jobs), outs[i])
+		progressMu.Unlock()
+	}
+	// Store hits count toward progress before execution starts.
+	for i := range jobs {
+		if outs[i].FromStore {
+			report(i)
+		}
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				outs[i] = execute(jobs[i], opts)
+				report(i)
+			}
+		}()
+	}
+	for _, i := range pending {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i := range outs {
+		if outs[i].Err != nil {
+			return outs, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Label(), outs[i].Err)
+		}
+	}
+	return outs, nil
+}
+
+// execute runs one job to completion.
+func execute(j Job, opts Options) Outcome {
+	out := Outcome{Job: j}
+	start := time.Now()
+
+	net, err := opts.Cache.Get(j.Net)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	var byz []bool
+	if j.ByzCount > 0 {
+		pl, ok := hgraph.PlacementByName(j.Placement)
+		if !ok {
+			out.Err = fmt.Errorf("unknown placement %q", j.Placement)
+			return out
+		}
+		byz = pl.Place(net.H, j.ByzCount, rng.New(j.PlaceSeed))
+	}
+	adv, ok := adversary.ByName(j.Adversary)
+	if !ok {
+		out.Err = fmt.Errorf("unknown adversary %q", j.Adversary)
+		return out
+	}
+	cfg := j.Config(opts.RunWorkers)
+	var obs core.Observer
+	if opts.Observer != nil {
+		obs = opts.Observer(j)
+		cfg.Observer = obs
+	}
+	res, err := core.Run(net, byz, adv, cfg)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Summary = metrics.Summarize(res, opts.Band)
+	if opts.KeepResults {
+		out.Result = res
+		out.Net = net
+		out.Byz = byz
+		out.Observer = obs
+	}
+	if opts.Store != nil {
+		rec := Record{
+			Key:       j.Key(),
+			Job:       j,
+			Summary:   out.Summary,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if err := opts.Store.Put(rec); err != nil {
+			out.Err = err
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+// Package sweep is the parallel sweep-orchestration subsystem: it turns a
+// declarative grid of scenarios — sizes, degrees, fault exponents,
+// adversaries, placements, algorithms, ε, churn, trials — into
+// deterministic content-hashed Jobs, executes them across a bounded
+// worker set with an LRU cache of generated networks, persists results
+// to an append-only JSONL store keyed by content hash (so interrupted
+// sweeps resume instead of restarting), and folds the outcomes into
+// per-cell aggregates.
+//
+// The paper's claims are statements over exactly such grids (Theorem 1
+// quantifies over n, δ, and the adversary), so every experiment,
+// benchmark, and attack study in this repository is some sweep; this
+// package is the one scheduler they share. internal/expt routes the
+// protocol-running experiments through Run, and cmd/sweep exposes
+// ad-hoc grids on the command line.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/hgraph"
+)
+
+// Spec declares a scenario grid. Every slice axis is crossed with every
+// other (a cartesian product); empty axes assume the noted default. The
+// expansion order is fixed — sizes, degrees, deltas, placements,
+// adversaries, algorithms, epsilons, churn fractions, trials innermost —
+// and all seeds derive deterministically from Seed and grid position, so
+// the same Spec always expands to the same Jobs with the same content
+// keys.
+type Spec struct {
+	// Name labels the grid (informational).
+	Name string `json:"name,omitempty"`
+	// Sizes are the network sizes n (required).
+	Sizes []int `json:"sizes"`
+	// Degrees are the H-degrees d (default {8}, the paper's baseline).
+	Degrees []int `json:"degrees,omitempty"`
+	// Deltas are fault exponents: each δ > 0 places ⌊n^(1−δ)⌋ Byzantine
+	// nodes; δ = 0 means no faults (default {0}).
+	Deltas []float64 `json:"deltas,omitempty"`
+	// Placements are Byzantine placement strategies per
+	// hgraph.PlacementByName (default {"random"}).
+	Placements []string `json:"placements,omitempty"`
+	// Adversaries are strategy names per adversary.ByName; "none" keeps
+	// Byzantine nodes protocol-following (default {"none"}).
+	Adversaries []string `json:"adversaries,omitempty"`
+	// Algorithms are protocol variants, "basic" or "byzantine"
+	// (default {"byzantine"}).
+	Algorithms []string `json:"algorithms,omitempty"`
+	// Epsilons are protocol error parameters; 0 selects the core default
+	// (default {0}).
+	Epsilons []float64 `json:"epsilons,omitempty"`
+	// ChurnFracs are mid-run crash fractions of n (default {0}).
+	ChurnFracs []float64 `json:"churn_fracs,omitempty"`
+	// Trials is the number of independent repetitions per cell
+	// (default 1).
+	Trials int `json:"trials,omitempty"`
+	// Seed is the grid's base seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxPhase caps the schedule for every job (0 = core default).
+	MaxPhase int `json:"max_phase,omitempty"`
+	// InjectionThreshold instruments injection-entry recording.
+	InjectionThreshold int64 `json:"injection_threshold,omitempty"`
+}
+
+func (s Spec) withDefaults() Spec {
+	if len(s.Degrees) == 0 {
+		s.Degrees = []int{8}
+	}
+	if len(s.Deltas) == 0 {
+		s.Deltas = []float64{0}
+	}
+	if len(s.Placements) == 0 {
+		s.Placements = []string{"random"}
+	}
+	if len(s.Adversaries) == 0 {
+		s.Adversaries = []string{"none"}
+	}
+	if len(s.Algorithms) == 0 {
+		s.Algorithms = []string{core.AlgorithmByzantine.String()}
+	}
+	if len(s.Epsilons) == 0 {
+		s.Epsilons = []float64{0}
+	}
+	if len(s.ChurnFracs) == 0 {
+		s.ChurnFracs = []float64{0}
+	}
+	if s.Trials <= 0 {
+		s.Trials = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// ParseAlgorithm resolves an algorithm name used in specs and CLI flags.
+func ParseAlgorithm(name string) (core.Algorithm, error) {
+	switch name {
+	case "basic":
+		return core.AlgorithmBasic, nil
+	case "byzantine", "":
+		return core.AlgorithmByzantine, nil
+	}
+	return 0, fmt.Errorf("sweep: unknown algorithm %q (want basic|byzantine)", name)
+}
+
+// Validate reports spec errors after defaulting.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if len(s.Sizes) == 0 {
+		return fmt.Errorf("sweep: spec %q has no sizes", s.Name)
+	}
+	for _, d := range s.Deltas {
+		if d < 0 || d > 1 {
+			return fmt.Errorf("sweep: delta %v outside [0,1]", d)
+		}
+	}
+	for _, f := range s.ChurnFracs {
+		if f < 0 || f >= 1 {
+			return fmt.Errorf("sweep: churn fraction %v outside [0,1)", f)
+		}
+	}
+	for _, name := range s.Placements {
+		if _, ok := hgraph.PlacementByName(name); !ok {
+			return fmt.Errorf("sweep: unknown placement %q", name)
+		}
+	}
+	for _, name := range s.Adversaries {
+		if _, ok := adversary.ByName(name); !ok {
+			return fmt.Errorf("sweep: unknown adversary %q", name)
+		}
+	}
+	for _, name := range s.Algorithms {
+		if _, err := ParseAlgorithm(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeedFor derives a per-(cell, trial) seed from a base seed:
+// decorrelated across cells and trials but fully reproducible. It is the
+// single seed-derivation formula shared by Spec expansion and the
+// experiment suite (expt.Scale), so a Spec-expanded cell and an
+// expt-seeded run with the same coordinates draw the same streams.
+func SeedFor(base uint64, cell, trial int) uint64 {
+	return base*1_000_003 + uint64(cell)*10_007 + uint64(trial)
+}
+
+func (s Spec) seedFor(cell, trial int) uint64 { return SeedFor(s.Seed, cell, trial) }
+
+// Jobs expands the grid into its job list. Cells that differ only in
+// non-topology axes (adversary, placement, algorithm, ε, churn, δ) share
+// a Net.Seed per (size, degree, trial), so the scheduler's network cache
+// generates each topology once per trial and reuses it across the rest of
+// the grid — same graph, different attack, which is also the
+// statistically sharper comparison.
+func (s Spec) Jobs() ([]Job, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var jobs []Job
+	group := 0
+	for si, n := range s.Sizes {
+		for di, d := range s.Degrees {
+			for _, delta := range s.Deltas {
+				for _, placement := range s.Placements {
+					for _, adv := range s.Adversaries {
+						for _, algName := range s.Algorithms {
+							alg, _ := ParseAlgorithm(algName)
+							for _, eps := range s.Epsilons {
+								for _, churn := range s.ChurnFracs {
+									for trial := 0; trial < s.Trials; trial++ {
+										base := s.seedFor(group, trial)
+										byzCount := 0
+										if delta > 0 {
+											byzCount = hgraph.ByzantineBudget(n, delta)
+										}
+										jobs = append(jobs, Job{
+											Spec: s.Name,
+											Net: hgraph.Params{
+												N: n, D: d,
+												Seed: s.seedFor(si*64+di, trial),
+											},
+											Delta:              delta,
+											ByzCount:           byzCount,
+											Placement:          placement,
+											PlaceSeed:          base + 0xB12,
+											Adversary:          adv,
+											Algorithm:          alg,
+											Epsilon:            eps,
+											MaxPhase:           s.MaxPhase,
+											InjectionThreshold: s.InjectionThreshold,
+											RunSeed:            base + 0x5EED,
+											ChurnCrashes:       int(churn * float64(n)),
+											ChurnSeed:          base + 0xC8,
+											Trial:              trial,
+											Group:              group,
+											Index:              len(jobs),
+										})
+									}
+									group++
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// LoadSpec reads a Spec from a JSON file, rejecting unknown fields.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("sweep: read spec: %w", err)
+	}
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("sweep: parse spec %s: %w", path, err)
+	}
+	return s, nil
+}

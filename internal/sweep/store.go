@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Record is one completed job as persisted to the JSONL store: the job's
+// content key, the job itself (for offline analysis), and its summary.
+type Record struct {
+	Key       string          `json:"key"`
+	Job       Job             `json:"job"`
+	Summary   metrics.Summary `json:"summary"`
+	ElapsedMS float64         `json:"elapsed_ms,omitempty"`
+}
+
+// Store is an append-only JSONL result store keyed by job content hash.
+// Opening an existing store indexes every record already on disk, so a
+// re-run of the same (or an overlapping) spec skips jobs whose keys are
+// present — an interrupted full-scale sweep resumes instead of
+// restarting. The file is opened O_APPEND and each record is one Write,
+// so a process killed mid-write costs at most its own partial line:
+// unparseable lines are skipped on load (never anything after them), and
+// an unterminated trailing chunk is sealed with a newline so later
+// appends start on a clean line boundary.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	have map[string]Record
+	path string
+}
+
+// OpenStore opens (creating if absent) the JSONL store at path and
+// indexes its existing records.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open store: %w", err)
+	}
+	s := &Store{f: f, have: make(map[string]Record), path: path}
+
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: read store: %w", err)
+	}
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// Unterminated trailing chunk: a process died mid-append.
+			// Seal it so the next append starts a fresh line; the sealed
+			// fragment fails to parse on future loads and is skipped.
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("sweep: repair store: %w", err)
+			}
+			break
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			// Corrupt line (interrupted append, or interleaved writers):
+			// skip it alone — valid records after it must survive.
+			continue
+		}
+		s.have[rec.Key] = rec
+	}
+	return s, nil
+}
+
+// Lookup returns the stored record for key, if any.
+func (s *Store) Lookup(key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.have[key]
+	return rec, ok
+}
+
+// Put appends rec and indexes it. Duplicate keys overwrite the index
+// entry but both lines remain on disk (last one wins on reload).
+func (s *Store) Put(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sweep: marshal record: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("sweep: append record: %w", err)
+	}
+	s.have[rec.Key] = rec
+	return nil
+}
+
+// Len returns the number of distinct keys stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.have)
+}
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// Close flushes and closes the backing file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
