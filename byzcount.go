@@ -48,6 +48,15 @@ type (
 	Summary = metrics.Summary
 	// Band is an acceptance interval for estimate/log₂(n) ratios.
 	Band = metrics.Band
+	// World is a reusable simulation arena: Reset/Run rewind its buffers
+	// and worker pool across runs instead of reallocating, and Topology
+	// tables precomputed per network are shared across arenas. One-shot
+	// callers can ignore it — Run below wraps the same lifecycle.
+	World = core.World
+	// Topology is the immutable per-network half of the arena (CSR
+	// adjacency and the Byzantine send-slot index), computed once per
+	// generated network and shareable across goroutines.
+	Topology = core.Topology
 	// SweepSpec declares a scenario grid (cartesian products over n, d,
 	// δ, adversary, placement, algorithm, ε, churn, trials).
 	SweepSpec = sweep.Spec
@@ -87,9 +96,20 @@ func ByzantineBudget(n int, delta float64) int { return hgraph.ByzantineBudget(n
 
 // Run executes one protocol run. byz may be nil (no Byzantine nodes) and
 // adv may be nil (protocol-following Byzantine behavior).
+//
+// Each call constructs and discards a simulation arena; callers looping
+// over many runs should allocate one with NewWorld and call its Run
+// method, which reuses the arena's state across runs.
 func Run(net *Network, byz []bool, adv Adversary, cfg Config) (*Result, error) {
 	return core.Run(net, byz, adv, cfg)
 }
+
+// NewWorld returns an empty reusable simulation arena. Close it when done.
+func NewWorld() *World { return core.NewWorld() }
+
+// NewTopology precomputes the engine's per-network tables for repeated
+// runs on the same network (World.RunTopology skips recomputing them).
+func NewTopology(net *Network) *Topology { return core.NewTopology(net) }
 
 // Summarize computes a run's headline metrics under the given band.
 func Summarize(r *Result, band Band) Summary { return metrics.Summarize(r, band) }

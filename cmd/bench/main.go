@@ -1,0 +1,169 @@
+// Command bench runs the protocol-engine and sweep benchmarks outside
+// `go test` and writes a machine-readable perf snapshot (default
+// BENCH_core.json): ns/op, allocs/op, bytes/op, and runs/sec per
+// benchmark. The committed file is the perf trajectory's data series —
+// regenerate after engine work and compare:
+//
+//	go run ./cmd/bench -o BENCH_core.json
+//	go run ./cmd/bench -quick        # fewer/smaller cases, for smoke
+//
+// The benchmarks mirror internal/core/bench_test.go: the "fresh" entries
+// pay arena construction per run (the seed engine's only mode), the
+// "arena" entries reuse one World with a cached Topology — the sweep
+// scheduler's cache-hit path and the configuration the acceptance
+// criterion tracks at n=4096.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sweep"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	Iterations  int     `json:"iterations"`
+}
+
+type report struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Note       string        `json:"note,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func measure(name string, fn func(b *testing.B)) benchResult {
+	fmt.Fprintf(os.Stderr, "bench %-28s ", name)
+	r := testing.Benchmark(fn)
+	out := benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+	if out.NsPerOp > 0 {
+		out.RunsPerSec = 1e9 / out.NsPerOp
+	}
+	fmt.Fprintf(os.Stderr, "%12.0f ns/op %10d B/op %8d allocs/op\n", out.NsPerOp, out.BytesPerOp, out.AllocsPerOp)
+	return out
+}
+
+func main() {
+	var (
+		outPath = flag.String("o", "BENCH_core.json", "output file (- for stdout)")
+		quick   = flag.Bool("quick", false, "small sizes only (CI smoke)")
+		note    = flag.String("note", "", "annotation recorded in the report")
+	)
+	flag.Parse()
+
+	sizes := []int{1024, 4096}
+	if *quick {
+		sizes = []int{512}
+	}
+
+	nets := map[int]*hgraph.Network{}
+	byzs := map[int][]bool{}
+	topos := map[int]*core.Topology{}
+	for _, n := range sizes {
+		nets[n] = hgraph.MustNew(hgraph.Params{N: n, D: 8, Seed: 11})
+		byzs[n] = hgraph.PlaceByzantine(n, hgraph.ByzantineBudget(n, 0.75), rng.New(12))
+		topos[n] = core.NewTopology(nets[n])
+	}
+	cfg := core.Config{Algorithm: core.AlgorithmByzantine, Seed: 13, Workers: 1}
+
+	var rep report
+	rep.GoVersion = runtime.Version()
+	rep.GOOS = runtime.GOOS
+	rep.GOARCH = runtime.GOARCH
+	rep.NumCPU = runtime.NumCPU()
+	rep.Note = *note
+
+	for _, n := range sizes {
+		n := n
+		rep.Benchmarks = append(rep.Benchmarks, measure(fmt.Sprintf("core/run-fresh/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(nets[n], byzs[n], nil, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		rep.Benchmarks = append(rep.Benchmarks, measure(fmt.Sprintf("core/run-arena/n=%d", n), func(b *testing.B) {
+			w := core.NewWorld()
+			defer w.Close()
+			if _, err := w.RunTopology(topos[n], byzs[n], nil, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.RunTopology(topos[n], byzs[n], nil, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	// The sweep scheduler's steady state: a warmed network cache, one
+	// arena per worker, grid cells streaming through.
+	spec := sweep.Spec{
+		Name:        "bench",
+		Sizes:       []int{sizes[0]},
+		Deltas:      []float64{0.75},
+		Adversaries: []string{"none", "inflate", "suppress", "oracle"},
+		Trials:      2,
+		Seed:        41,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		fatal(err)
+	}
+	cache := sweep.NewNetCache(0)
+	opts := sweep.Options{Workers: 1, Cache: cache, Band: metrics.DefaultBand}
+	if _, err := sweep.Run(jobs, opts); err != nil {
+		fatal(err)
+	}
+	rep.Benchmarks = append(rep.Benchmarks, measure(fmt.Sprintf("sweep/cached/n=%d", sizes[0]), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sweep.Run(jobs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *outPath == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -81,6 +81,10 @@ func main() {
 		*n, *d, bCount, place.Name, adv.Name(), alg, *eps, 100**churn)
 
 	var agg metrics.Aggregate
+	// One arena reused across trials: per-run state is rewound by Reset
+	// rather than reallocated.
+	arena := core.NewWorld()
+	defer arena.Close()
 	for trial := 0; trial < *trials; trial++ {
 		s := *seed + uint64(trial)*101
 		net, err := hgraph.New(hgraph.Params{N: *n, D: *d, Seed: s})
@@ -101,7 +105,7 @@ func main() {
 		if *churn > 0 {
 			cfg.Churn = core.ChurnConfig{Crashes: int(*churn * float64(*n)), Seed: s + 31}
 		}
-		res, err := core.Run(net, byz, adv, cfg)
+		res, err := arena.Run(net, byz, adv, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,0 +1,51 @@
+package adversary
+
+// reuse_test.go pins the adversary-instance reuse contract that arena
+// reuse leans on: every stateful strategy (Inflate's subphase counter,
+// Oracle's subphase max, Combo's inner Inflate) must fully re-initialize
+// in Init, so one instance driven across consecutive runs — as
+// cmd/byzcount's trial loop and any caller holding a core.World do —
+// behaves exactly like a fresh instance per run.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/rng"
+)
+
+func TestStatefulAdversaryReuseAcrossRuns(t *testing.T) {
+	net := hgraph.MustNew(hgraph.Params{N: 128, D: 8, Seed: 61})
+	byz := hgraph.PlaceByzantine(128, 4, rng.New(62))
+	cfg := core.Config{Algorithm: core.AlgorithmByzantine, Seed: 63, Workers: 1}
+
+	for _, name := range Names() {
+		if name == "none" {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			reused, _ := ByName(name)
+			arena := core.NewWorld()
+			defer arena.Close()
+			// Dirty the instance's state with a first run, then re-run.
+			if _, err := arena.Run(net, byz, reused, cfg); err != nil {
+				t.Fatal(err)
+			}
+			second, err := arena.Run(net, byz, reused, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, _ := ByName(name)
+			want, err := core.Run(net, byz, fresh, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, second) {
+				t.Fatalf("%s: reused adversary instance diverged from a fresh one", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hgraph"
+)
+
+// TestTopologyReverse checks the reverse-edge index on multigraphs: every
+// CSR entry's reverse points back at it and connects the same unordered
+// pair. Small n with d close to n forces parallel edges and self-loops.
+func TestTopologyReverse(t *testing.T) {
+	for _, p := range []hgraph.Params{
+		{N: 5, D: 4, Seed: 3},
+		{N: 16, D: 8, Seed: 4},
+		{N: 128, D: 8, Seed: 5},
+	} {
+		net := hgraph.MustNew(p)
+		topo := NewTopology(net)
+		off, adj := topo.hOff, topo.hAdj
+		owner := make([]int32, len(adj))
+		for v := 0; v < net.H.N(); v++ {
+			for e := off[v]; e < off[v+1]; e++ {
+				owner[e] = int32(v)
+			}
+		}
+		for e := range adj {
+			r := topo.rev[e]
+			if topo.rev[r] != int32(e) {
+				t.Fatalf("%+v: rev not involutive at entry %d (rev=%d, rev(rev)=%d)", p, e, r, topo.rev[r])
+			}
+			if adj[r] != owner[e] || owner[r] != adj[e] {
+				t.Fatalf("%+v: entry %d (%d→%d) reversed to %d (%d→%d)",
+					p, e, owner[e], adj[e], r, owner[r], adj[r])
+			}
+		}
+	}
+}
+
+// TestCandInsertKeepsBest covers the maxCandidates overflow fix: the seed
+// engine silently dropped candidates past the first 64; the bounded
+// insert must instead retain the 64 largest seen.
+func TestCandInsertKeepsBest(t *testing.T) {
+	w := NewWorld()
+	var cands [maxCandidates]int64
+	var from [maxCandidates]int32
+	nc := 0
+	// Fill with 100..163, then offer worse and better values.
+	for i := 0; i < maxCandidates; i++ {
+		nc = w.candInsert(&cands, &from, nc, int64(100+i), int32(i))
+	}
+	if nc != maxCandidates {
+		t.Fatalf("nc = %d, want %d", nc, maxCandidates)
+	}
+	nc = w.candInsert(&cands, &from, nc, 50, 999) // worse than every kept value
+	nc = w.candInsert(&cands, &from, nc, 500, 1000)
+	nc = w.candInsert(&cands, &from, nc, 400, 1001)
+	if nc != maxCandidates {
+		t.Fatalf("overflow changed nc to %d", nc)
+	}
+	if w.candOverflows.Load() != 3 {
+		t.Fatalf("candOverflows = %d, want 3", w.candOverflows.Load())
+	}
+	var min, max int64 = 1 << 62, 0
+	has := map[int64]int32{}
+	for q := 0; q < maxCandidates; q++ {
+		has[cands[q]] = from[q]
+		if cands[q] < min {
+			min = cands[q]
+		}
+		if cands[q] > max {
+			max = cands[q]
+		}
+	}
+	if _, ok := has[50]; ok {
+		t.Fatal("kept a candidate worse than the buffer minimum")
+	}
+	if f, ok := has[500]; !ok || f != 1000 {
+		t.Fatalf("best overflow candidate not kept with its sender (has=%v from=%d)", ok, f)
+	}
+	if f, ok := has[400]; !ok || f != 1001 {
+		t.Fatal("second overflow candidate not kept")
+	}
+	// 100 and 101 were the two smallest originals; both should be evicted.
+	if _, ok := has[100]; ok {
+		t.Fatal("smallest original survived eviction")
+	}
+	if _, ok := has[101]; ok {
+		t.Fatal("second-smallest original survived eviction")
+	}
+	if min != 102 || max != 500 {
+		t.Fatalf("kept range [%d,%d], want [102,500]", min, max)
+	}
+}
+
+// TestHighDegreeCandidateOverflow runs the engine at H-degree 160 — well
+// past the candidate buffer — and checks both that the overflow path
+// actually fired (the regression would be vacuous otherwise) and that the
+// run completes with every node deciding.
+func TestHighDegreeCandidateOverflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense network generation")
+	}
+	net := hgraph.MustNew(hgraph.Params{N: 360, D: 160, Seed: 9})
+	w := NewWorld()
+	defer w.Close()
+	res, err := w.Run(net, nil, nil, Config{Algorithm: AlgorithmBasic, Seed: 10, MaxPhase: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.candOverflows.Load() == 0 {
+		t.Fatal("no candidate overflow at d=160: the regression test exercises nothing")
+	}
+	if res.UndecidedCount+res.CrashedCount == res.HonestCount {
+		t.Fatal("no node decided")
+	}
+}
+
+// TestWorldCallerOwnedPool checks Config.Pool sharing: the arena must use
+// and never close a caller-supplied pool.
+func TestWorldCallerOwnedPool(t *testing.T) {
+	net := hgraph.MustNew(hgraph.Params{N: 300, D: 8, Seed: 21})
+	pool := newTestPool(t)
+	cfg := Config{Algorithm: AlgorithmByzantine, Seed: 22, Pool: pool}
+	w := NewWorld()
+	ref, err := Run(net, nil, nil, Config{Algorithm: AlgorithmByzantine, Seed: 22, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2; trial++ {
+		res, err := w.Run(net, nil, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsEqual(t, ref, res)
+	}
+	w.Close()
+	// The pool must still be alive: run through it once more.
+	var covered atomic.Int64
+	pool.ForChunks(1000, func(start, end int) { covered.Add(int64(end - start)) })
+	if covered.Load() != 1000 {
+		t.Fatal("caller-owned pool dead after arena Close")
+	}
+}

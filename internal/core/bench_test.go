@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hgraph"
+	"repro/internal/rng"
+)
+
+// benchNet memoizes generated networks across benchmarks in one process.
+var benchNets = map[int]*hgraph.Network{}
+
+func benchNet(n int) *hgraph.Network {
+	if net, ok := benchNets[n]; ok {
+		return net
+	}
+	net := hgraph.MustNew(hgraph.Params{N: n, D: 8, Seed: 11})
+	benchNets[n] = net
+	return net
+}
+
+func benchByz(n int) []bool {
+	return hgraph.PlaceByzantine(n, hgraph.ByzantineBudget(n, 0.75), rng.New(12))
+}
+
+// BenchmarkRunFresh measures the one-shot entry point: every iteration
+// pays full arena construction (the seed engine's only mode).
+func BenchmarkRunFresh(b *testing.B) {
+	net := benchNet(1024)
+	byz := benchByz(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(net, byz, nil, Config{Algorithm: AlgorithmByzantine, Seed: 13, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRun measures the arena path the sweep runner uses on a network
+// cache hit: one World reused across runs, topology tables precomputed
+// once. This is the acceptance benchmark — compare ns/op against the seed
+// engine's per-run construction at the same n.
+func BenchmarkRun(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		n := n
+		b.Run(map[int]string{1024: "n=1024", 4096: "n=4096"}[n], func(b *testing.B) {
+			net := benchNet(n)
+			byz := benchByz(n)
+			topo := NewTopology(net)
+			w := NewWorld()
+			defer w.Close()
+			cfg := Config{Algorithm: AlgorithmByzantine, Seed: 13, Workers: 1}
+			if _, err := w.RunTopology(topo, byz, nil, cfg); err != nil {
+				b.Fatal(err) // warm the arena before timing
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.RunTopology(topo, byz, nil, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubphase isolates the round loop: the steady-state cost of one
+// i=4 subphase on a warm arena. Allocations here must be zero — the
+// TestRoundLoopZeroAlloc guard pins that; the benchmark reports the rate.
+func BenchmarkSubphase(b *testing.B) {
+	net := benchNet(1024)
+	byz := benchByz(1024)
+	w := NewWorld()
+	defer w.Close()
+	if err := w.Reset(net, byz, nil, Config{Algorithm: AlgorithmByzantine, Seed: 13, Workers: 1}); err != nil {
+		b.Fatal(err)
+	}
+	w.runSubphase(4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.runSubphase(4, 1)
+	}
+}
+
+// TestRoundLoopZeroAlloc is the acceptance guard for the arena: once a
+// run is set up, executing subphases — color generation, Byzantine send
+// latching, the full stepNode/verify loop, bookkeeping — must not
+// allocate, serial or parallel.
+func TestRoundLoopZeroAlloc(t *testing.T) {
+	net := benchNet(512)
+	byz := benchByz(512)
+	for _, workers := range []int{1, 4} {
+		w := NewWorld()
+		if err := w.Reset(net, byz, nil, Config{Algorithm: AlgorithmByzantine, Seed: 13, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		w.runSubphase(4, 1) // warm any lazy state
+		allocs := testing.AllocsPerRun(50, func() {
+			w.runSubphase(4, 1)
+		})
+		w.Close()
+		if allocs != 0 {
+			t.Errorf("workers=%d: round loop allocates %.1f objects per subphase, want 0", workers, allocs)
+		}
+	}
+}

@@ -40,8 +40,11 @@ func (w *World) runExchange() {
 
 	// Only nodes with a Byzantine node inside their radius-k H-ball can
 	// receive a lie; everyone else reconstructs the truth trivially.
-	scratch := graph.NewBFS(w.Net.H)
-	candidate := make([]bool, n)
+	// Scratch comes from the arena: the BFS workspace survives across
+	// runs on the same network, and the candidate vector is zeroed by
+	// Reset.
+	scratch := w.exchBFS
+	candidate := w.exchCand
 	for _, b := range w.byzList {
 		nodes, _ := graph.BallWith(scratch, int(b), w.Net.K)
 		for _, v := range nodes {

@@ -35,7 +35,10 @@ type DerivedBall struct {
 // Only information available to v in the model is consulted: N_G(v) and
 // the N_G lists of v's G-neighbors.
 func DeriveHFromG(g *graph.Graph, v, k int) *DerivedBall {
-	nv := g.UniqueNeighbors(v)
+	// G is simple and loop-free by construction (hgraph.BuildG), so the
+	// CSR adjacency IS the unique neighbor set: use the aliasing accessor
+	// throughout instead of materializing a deduplicated copy per node.
+	nv := g.Neighbors(v)
 	inBall := make(map[int32]bool, len(nv)+1)
 	inBall[int32(v)] = true
 	for _, u := range nv {
@@ -49,7 +52,7 @@ func DeriveHFromG(g *graph.Graph, v, k int) *DerivedBall {
 	intersect := make(map[int32][]int32, len(nv))
 	for _, u := range nv {
 		ix := []int32{u}
-		for _, x := range g.UniqueNeighbors(int(u)) {
+		for _, x := range g.Neighbors(int(u)) {
 			if inBall[x] {
 				ix = append(ix, x)
 			}
@@ -80,7 +83,7 @@ func DeriveHFromG(g *graph.Graph, v, k int) *DerivedBall {
 		// minimal intersection; matches must be totally ordered by ⊆ or
 		// the ball is not tree-like.
 		var matches []int32
-		for _, u := range g.UniqueNeighbors(int(wn)) {
+		for _, u := range g.Neighbors(int(wn)) {
 			if u == wn || !inBall[u] || u == int32(v) {
 				continue
 			}

@@ -1,0 +1,110 @@
+package core_test
+
+// reuse_test.go pins the arena contract: a World Reset across a
+// heterogeneous job sequence — different networks, sizes, Byzantine sets
+// (including none after some), adversaries, algorithms, churn, MaxPhase —
+// produces results byte-identical to a fresh engine per run. This is the
+// regression guard for every piece of state Reset must rewind (held
+// boards, logs, slot tables, coin streams, counters, views, crash flags).
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/rng"
+)
+
+type reuseJob struct {
+	name      string
+	net       *hgraph.Network
+	byz       []bool
+	adversary string
+	cfg       core.Config
+}
+
+func reuseJobs(t *testing.T) []reuseJob {
+	t.Helper()
+	net128 := hgraph.MustNew(hgraph.Params{N: 128, D: 8, Seed: 41})
+	net96 := hgraph.MustNew(hgraph.Params{N: 96, D: 12, Seed: 42})
+	byz128 := hgraph.PlaceByzantine(128, 5, rng.New(43))
+	byz96 := hgraph.PlaceByzantine(96, 3, rng.New(44))
+	return []reuseJob{
+		{name: "byzantine/inflate", net: net128, byz: byz128, adversary: "inflate",
+			cfg: core.Config{Algorithm: core.AlgorithmByzantine, Seed: 51}},
+		{name: "basic/no-byz-after-byz", net: net128, byz: nil, adversary: "",
+			cfg: core.Config{Algorithm: core.AlgorithmBasic, Seed: 52}},
+		{name: "other-net/oracle/churn", net: net96, byz: byz96, adversary: "oracle",
+			cfg: core.Config{Algorithm: core.AlgorithmByzantine, Seed: 53,
+				Churn: core.ChurnConfig{Crashes: 4, Seed: 54}}},
+		{name: "back-to-first-net/suppress", net: net128, byz: byz128, adversary: "suppress",
+			cfg: core.Config{Algorithm: core.AlgorithmByzantine, Seed: 55, MaxPhase: 12}},
+		{name: "phase-activity+injection", net: net96, byz: byz96, adversary: "inflate",
+			cfg: core.Config{Algorithm: core.AlgorithmByzantine, Seed: 56,
+				RecordPhaseActivity: true, InjectionThreshold: adversary.InjectBase}},
+		{name: "repeat-first", net: net128, byz: byz128, adversary: "inflate",
+			cfg: core.Config{Algorithm: core.AlgorithmByzantine, Seed: 51}},
+	}
+}
+
+func TestWorldReuseMatchesFresh(t *testing.T) {
+	jobs := reuseJobs(t)
+	arena := core.NewWorld()
+	defer arena.Close()
+	for _, j := range jobs {
+		j := j
+		t.Run(j.name, func(t *testing.T) {
+			adv, ok := adversary.ByName(j.adversary)
+			if !ok {
+				t.Fatalf("unknown adversary %q", j.adversary)
+			}
+			got, err := arena.Run(j.net, j.byz, adv, j.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			freshAdv, _ := adversary.ByName(j.adversary)
+			want, err := core.Run(j.net, j.byz, freshAdv, j.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("reused arena diverged from fresh engine:\nfresh  %v\nreused %v", want, got)
+			}
+		})
+	}
+}
+
+// TestWorldReuseSharedTopology runs the same sequence through
+// ResetTopology with caller-held Topology values, as the sweep runner
+// does on cache hits.
+func TestWorldReuseSharedTopology(t *testing.T) {
+	jobs := reuseJobs(t)
+	topos := map[*hgraph.Network]*core.Topology{}
+	for _, j := range jobs {
+		if topos[j.net] == nil {
+			topos[j.net] = core.NewTopology(j.net)
+		}
+	}
+	arena := core.NewWorld()
+	defer arena.Close()
+	for _, j := range jobs {
+		j := j
+		t.Run(j.name, func(t *testing.T) {
+			adv, _ := adversary.ByName(j.adversary)
+			got, err := arena.RunTopology(topos[j.net], j.byz, adv, j.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			freshAdv, _ := adversary.ByName(j.adversary)
+			want, err := core.Run(j.net, j.byz, freshAdv, j.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("shared-topology arena diverged from fresh engine")
+			}
+		})
+	}
+}

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/hgraph"
 	"repro/internal/rng"
@@ -18,32 +16,43 @@ import (
 // i = 1, 2, …, each of i·α_i subphases, each flooding for exactly i rounds.
 // It stops when every honest uncrashed node has decided, or at the
 // MaxPhase safety cap (survivors are reported undecided).
+//
+// Run constructs a fresh arena per call; callers executing many runs
+// (sweeps, trial loops) should hold a World and use its Run/RunTopology
+// methods, which reuse the arena's buffers and worker pool across runs.
 func Run(net *hgraph.Network, byz []bool, adv Adversary, cfg Config) (*Result, error) {
-	n := net.H.N()
-	if byz == nil {
-		byz = make([]bool, n)
-	}
-	if len(byz) != n {
-		return nil, fmt.Errorf("core: byz vector length %d != n %d", len(byz), n)
-	}
-	cfg = cfg.withDefaults(n)
-	if err := cfg.Validate(); err != nil {
+	w := NewWorld()
+	defer w.Close()
+	return w.Run(net, byz, adv, cfg)
+}
+
+// Run resets the arena for (net, byz, adv, cfg) and executes the protocol.
+func (w *World) Run(net *hgraph.Network, byz []bool, adv Adversary, cfg Config) (*Result, error) {
+	if err := w.Reset(net, byz, adv, cfg); err != nil {
 		return nil, err
 	}
-	if adv == nil {
-		adv = HonestAdversary{}
+	return w.run()
+}
+
+// RunTopology is Run with the per-network tables supplied by the caller
+// (the sweep layer caches them alongside each generated network).
+func (w *World) RunTopology(topo *Topology, byz []bool, adv Adversary, cfg Config) (*Result, error) {
+	if err := w.ResetTopology(topo, byz, adv, cfg); err != nil {
+		return nil, err
 	}
+	return w.run()
+}
 
-	w := newWorld(net, byz, adv, cfg)
-	defer w.Close()
-	adv.Init(w)
+// run executes the protocol on a freshly Reset arena.
+func (w *World) run() (*Result, error) {
+	w.adv.Init(w)
 
-	if cfg.Algorithm == AlgorithmByzantine {
+	if w.Cfg.Algorithm == AlgorithmByzantine {
 		w.runExchange()
 	}
-	churn := scheduleChurn(cfg, byz)
+	churn := scheduleChurn(w.Cfg, w.Byz)
 
-	for i := 1; i <= cfg.MaxPhase; i++ {
+	for i := 1; i <= w.Cfg.MaxPhase; i++ {
 		for _, victim := range churn[i] {
 			if !w.crashed[victim] {
 				w.crashed[victim] = true
@@ -51,7 +60,7 @@ func Run(net *hgraph.Network, byz []bool, adv Adversary, cfg Config) (*Result, e
 			}
 		}
 		active := w.activeCount()
-		if cfg.RecordPhaseActivity {
+		if w.Cfg.RecordPhaseActivity {
 			w.activePerPhase = append(w.activePerPhase, active)
 		}
 		if active == 0 {
@@ -153,20 +162,22 @@ func (w *World) runSubphase(i, j int) {
 	w.adv.SubphaseStart(w)
 
 	verify := w.Cfg.Algorithm == AlgorithmByzantine
+	hOff, hAdj := w.topo.hOff, w.topo.hAdj
+	rev := w.topo.rev
 	for t := 1; t <= i; t++ {
 		w.Clock.Round = t
 		// Latch Byzantine sends for this round (serial, so adversaries
-		// need no internal synchronization for Send).
+		// need no internal synchronization for Send). Entry e = (b → nb)
+		// latches into the slot receivers read for it, byzIn[rev[e]];
+		// parallel edges share a slot and the last Send wins, as with
+		// the seed's map.
 		for _, b := range w.byzList {
-			for _, nb := range w.Net.H.Neighbors(int(b)) {
-				w.byzSends[w.byzSlot[byzKey(b, nb)]] = w.adv.Send(w, int(b), int(nb), t)
+			for e := hOff[b]; e < hOff[b+1]; e++ {
+				w.byzSends[w.byzIn[rev[e]]] = w.adv.Send(w, int(b), int(hAdj[e]), t)
 			}
 		}
-		w.pool.ForChunks(n, func(start, end int) {
-			for v := start; v < end; v++ {
-				w.stepNode(v, t, i, verify)
-			}
-		})
+		w.stepRound, w.stepPhase, w.stepVerify = t, i, verify
+		w.pool.ForChunks(n, w.stepFn)
 		w.held.Swap()
 		w.counters.CountRound()
 		w.globalRound++
@@ -193,6 +204,34 @@ func (w *World) runSubphase(i, j int) {
 	w.Clock.Round = 0
 }
 
+// maxCandidates bounds the per-node improvement-candidate buffer. H-degree
+// is the paper's constant d (8–16), so the bound only binds at synthetic
+// high-degree configurations; when it does, candInsert keeps the largest
+// candidates instead of the first arrivals.
+const maxCandidates = 64
+
+// candInsert records improvement candidate (c, nb) into the bounded
+// buffers. When the buffer is full it evicts the smallest kept candidate
+// if c beats it, so the selection loop always sees the top maxCandidates
+// values received this round.
+func (w *World) candInsert(cands *[maxCandidates]int64, from *[maxCandidates]int32, nc int, c int64, nb int32) int {
+	if nc < maxCandidates {
+		cands[nc], from[nc] = c, nb
+		return nc + 1
+	}
+	w.candOverflows.Add(1)
+	mi := 0
+	for q := 1; q < maxCandidates; q++ {
+		if cands[q] < cands[mi] {
+			mi = q
+		}
+	}
+	if c > cands[mi] {
+		cands[mi], from[mi] = c, nb
+	}
+	return nc
+}
+
 // stepNode advances node v through round t of an i-round subphase:
 // deliver neighbor sends, verify improvements, update the held color and
 // the k_t bookkeeping.
@@ -204,11 +243,16 @@ func (w *World) stepNode(v, t, i int, verify bool) {
 		next[v] = 0
 		return
 	}
+
+	hAdj := w.topo.hAdj
+	begin, end := w.topo.hOff[v], w.topo.hOff[v+1]
+
 	if w.Byz[v] {
 		// Bookkeeping only: Byzantine nodes "hold" the max of everything
 		// they hear, giving strategies a sane protocol-following default.
 		best := cur[v]
-		for _, nb := range w.Net.H.Neighbors(v) {
+		for e := begin; e < end; e++ {
+			nb := hAdj[e]
 			if !w.crashed[nb] && cur[nb] > best {
 				best = cur[nb]
 			}
@@ -219,19 +263,21 @@ func (w *World) stepNode(v, t, i int, verify bool) {
 	}
 
 	heldv := cur[v]
-	// Flooding cost: v sent its held color to all H-neighbors this round.
+	// Flooding cost: v sent its held color to all H-neighbors this round
+	// (the degree falls out of the CSR offsets).
 	if heldv > 0 {
-		w.counters.CountMessages(len(w.Net.H.Neighbors(v)), messageBits(heldv))
+		w.counters.CountMessages(int(end-begin), messageBits(heldv))
 	}
 
-	var kt int64             // max reception this round (after verification)
-	var candidates [64]int64 // improvement candidates awaiting verification
-	var candFrom [64]int32   // their senders
+	var kt int64                        // max reception this round (after verification)
+	var candidates [maxCandidates]int64 // improvement candidates awaiting verification
+	var candFrom [maxCandidates]int32   // their senders
 	nc := 0
-	for _, nb := range w.Net.H.Neighbors(v) {
+	for e := begin; e < end; e++ {
+		nb := hAdj[e]
 		var c int64
-		if w.Byz[nb] {
-			c = w.byzSends[w.byzSlot[byzKey(nb, int32(v))]]
+		if slot := w.byzIn[e]; slot >= 0 {
+			c = w.byzSends[slot]
 		} else if !w.crashed[nb] {
 			c = cur[nb]
 		}
@@ -246,32 +292,35 @@ func (w *World) stepNode(v, t, i int, verify bool) {
 			}
 			continue
 		}
-		if nc < len(candidates) {
-			candidates[nc] = c
-			candFrom[nc] = nb
-			nc++
-		}
+		nc = w.candInsert(&candidates, &candFrom, nc, c, nb)
 	}
 
 	newHeld := heldv
 	if nc > 0 {
 		// Verify improvement candidates best-first; the first that passes
 		// is the verified fresh maximum. Failed candidates are discarded
-		// (Algorithm 2: inconsistent high values are dropped).
-		order := make([]int, nc)
-		for idx := range order {
-			order[idx] = idx
-		}
-		sort.Slice(order, func(a, b int) bool { return candidates[order[a]] > candidates[order[b]] })
-		for _, idx := range order {
-			c := candidates[idx]
-			if verify && !w.verifyColor(v, candFrom[idx], c, t) {
+		// (Algorithm 2: inconsistent high values are dropped). Selection
+		// is an in-place bounded scan — descending value, ties in arrival
+		// order — instead of the seed's per-node sort.Slice allocation.
+		for {
+			best := -1
+			var bc int64
+			for q := 0; q < nc; q++ {
+				if candidates[q] > bc {
+					bc, best = candidates[q], q
+				}
+			}
+			if best < 0 {
+				break
+			}
+			candidates[best] = 0 // consumed (candidates are all > heldv >= 0)
+			if verify && !w.verifyColor(v, candFrom[best], bc, t) {
 				continue
 			}
-			if c > kt {
-				kt = c
+			if bc > kt {
+				kt = bc
 			}
-			newHeld = c
+			newHeld = bc
 			break
 		}
 	}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"repro/internal/hgraph"
+)
+
+// Topology is the immutable half of the simulation arena: tables derived
+// from a Network alone, computed once and shared by every run on that
+// network (the sweep layer caches a Topology alongside each cached
+// Network). The mutable half lives in World and is rewound by Reset.
+//
+// The tables are what let stepNode run allocation-free with O(1) lookups:
+// the H adjacency in raw CSR form (one bounds-checked slice index per
+// neighbor instead of a Neighbors call per node per round), and the
+// reverse-edge index that Reset uses to build the CSR-aligned Byzantine
+// send-slot table in O(Byzantine degree) time.
+type Topology struct {
+	// Net is the network these tables were derived from.
+	Net *hgraph.Network
+
+	// hOff/hAdj are H's CSR arrays (aliases of the graph's storage):
+	// node v's H-neighbors are hAdj[hOff[v]:hOff[v+1]].
+	hOff []int32
+	hAdj []int32
+
+	// rev[e] is the CSR position of entry e's reverse edge: if e is the
+	// j-th occurrence of x in v's adjacency, rev[e] is the j-th occurrence
+	// of v in x's adjacency (multigraph multiplicities pair off exactly;
+	// a self-loop entry is its own reverse).
+	rev []int32
+}
+
+// NewTopology precomputes the engine's per-network tables. The returned
+// Topology is immutable and safe to share across Worlds and goroutines.
+func NewTopology(net *hgraph.Network) *Topology {
+	off, adj := net.H.CSR()
+	return &Topology{
+		Net:  net,
+		hOff: off,
+		hAdj: adj,
+		rev:  buildReverse(off, adj),
+	}
+}
+
+// buildReverse pairs every directed CSR entry with its reverse entry.
+// Adjacency lists are sorted, so the occurrences of x in v's list are
+// contiguous, and the j-th is matched to the j-th occurrence of v in x's
+// list (found by binary search: O(E log d) once per network).
+func buildReverse(off, adj []int32) []int32 {
+	rev := make([]int32, len(adj))
+	n := len(off) - 1
+	for v := 0; v < n; v++ {
+		occStart := off[v]
+		for e := off[v]; e < off[v+1]; e++ {
+			x := adj[e]
+			if e > off[v] && adj[e-1] != x {
+				occStart = e
+			}
+			j := e - occStart
+			lo, hi := off[x], off[x+1]
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if adj[mid] < int32(v) {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			rev[e] = lo + j
+		}
+	}
+	return rev
+}

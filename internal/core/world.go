@@ -1,6 +1,11 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/graph"
 	"repro/internal/hgraph"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -9,6 +14,12 @@ import (
 // World holds the full simulation state of one protocol run. The Adversary
 // reads it freely (full-information model); honest node logic lives in the
 // engine (run.go) and only touches its own node's state within a round.
+//
+// A World is a reusable arena: NewWorld returns an empty one, Reset (or
+// ResetTopology) rewinds it for a run without reallocating steady-state
+// buffers, and Close releases its worker pool. The sweep runner keeps one
+// World per worker and reuses it across jobs; one-shot callers go through
+// the package-level Run, which wraps the same lifecycle.
 type World struct {
 	Net   *hgraph.Network
 	Byz   []bool
@@ -16,8 +27,14 @@ type World struct {
 	Sched Schedule
 	Clock Clock
 
+	// topo is the immutable per-network half of the arena (CSR adjacency,
+	// reverse-edge index); everything below is mutable per-run state.
+	topo *Topology
+
 	held         *sim.Exchange[int64]
+	heldBuf      []int64   // slab backing heldLog, zeroed on Reset
 	heldLog      [][]int64 // [node][round] held value after each round of the current subphase
+	logN, logLen int       // dimensions heldBuf/heldLog were built for
 	color        []int64   // color drawn this subphase (0 if not generating)
 	decided      []int32   // phase at which the node decided; 0 = still active
 	decidedRound []int64   // global round at which the node decided
@@ -25,21 +42,47 @@ type World struct {
 	continueFlag []bool    // per-phase: some subphase satisfied the continue criterion
 	maxEarly     []int64   // per-subphase: max_{t<i} k_t
 	kFinal       []int64   // per-subphase: k_i
-	colorSrc     []*rng.Source
+	colorSrc     []rng.Source
+	zeroByz      []bool // reusable all-false vector for byz == nil
 
 	// views[v] maps a lying node to the H-adjacency it claimed to v during
 	// the exchange; nil means v's view of the topology is ground truth.
 	views []map[int32][]int32
 
-	byzList  []int32
-	byzSlot  map[int64]int32 // (b<<32 | v) -> index into byzSends
-	byzSends []int64         // latched adversary sends for the current round
+	byzList []int32
+	// byzIn is the CSR-aligned Byzantine send-slot index: for every H CSR
+	// entry e owned by receiver v, byzIn[e] is the byzSends slot of the
+	// sender hAdj[e] on the edge (hAdj[e] → v), or -1 if that sender is
+	// honest. It replaces the seed engine's (b<<32|v) hash-map lookup in
+	// stepNode with one array index. Parallel edges share a slot, exactly
+	// as the map deduplicated them.
+	byzIn    []int32
+	byzSends []int64 // latched adversary sends for the current round
 
 	counters       sim.Counters
 	pool           *sim.Pool
+	poolOwned      bool // whether Close should shut the pool down
 	globalRound    int64
 	adv            Adversary
 	activePerPhase []int
+
+	// Allocation-free round dispatch: runSubphase parks its loop variables
+	// here and hands the pool one persistent closure instead of capturing
+	// a fresh one (which would escape to the heap) every round.
+	stepFn     func(start, end int)
+	stepRound  int
+	stepPhase  int
+	stepVerify bool
+
+	// Reusable exchange scratch (Algorithm 2 preprocessing).
+	exchBFS  *graph.BFS
+	exchCand []bool
+
+	// candOverflows counts rounds in which a node saw more than
+	// maxCandidates improvement candidates (possible only at H-degree
+	// > maxCandidates); the bounded selection then keeps the best rather
+	// than the first arrivals. Diagnostic only — not part of Result.
+	candOverflows atomic.Int64
 
 	// Lemma 16 instrumentation (Config.InjectionThreshold > 0):
 	// entryRound is the round the current subphase first saw an injected
@@ -51,56 +94,202 @@ type World struct {
 	churnCrashes int
 }
 
-func byzKey(b, v int32) int64 { return int64(b)<<32 | int64(v) }
+// NewWorld returns an empty arena. Reset it before running; Close it when
+// done (Close only releases the worker pool — a closed arena can be Reset
+// and used again).
+func NewWorld() *World { return &World{} }
 
-func newWorld(net *hgraph.Network, byz []bool, adv Adversary, cfg Config) *World {
+// resetSlice returns s with length n and every element zeroed, reusing the
+// backing array when it is large enough.
+func resetSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Reset rewinds the arena for a run of cfg on (net, byz, adv), reusing
+// every steady-state buffer from the previous run. Topology tables are
+// recomputed only when net differs from the previous Reset's network;
+// callers that already hold a Topology (the sweep cache) should use
+// ResetTopology instead.
+func (w *World) Reset(net *hgraph.Network, byz []bool, adv Adversary, cfg Config) error {
+	topo := w.topo
+	if topo == nil || topo.Net != net {
+		topo = NewTopology(net)
+	}
+	return w.ResetTopology(topo, byz, adv, cfg)
+}
+
+// ResetTopology is Reset with the per-network tables supplied by the
+// caller. topo may be shared across arenas and goroutines; the World only
+// reads it.
+func (w *World) ResetTopology(topo *Topology, byz []bool, adv Adversary, cfg Config) error {
+	net := topo.Net
 	n := net.H.N()
-	w := &World{
-		Net:          net,
-		Byz:          byz,
-		Cfg:          cfg,
-		Sched:        Schedule{D: net.Params.D, Epsilon: cfg.Epsilon},
-		held:         sim.NewExchange[int64](n),
-		heldLog:      make([][]int64, n),
-		color:        make([]int64, n),
-		decided:      make([]int32, n),
-		decidedRound: make([]int64, n),
-		crashed:      make([]bool, n),
-		continueFlag: make([]bool, n),
-		maxEarly:     make([]int64, n),
-		kFinal:       make([]int64, n),
-		colorSrc:     make([]*rng.Source, n),
-		views:        make([]map[int32][]int32, n),
-		adv:          adv,
+	if byz == nil {
+		w.zeroByz = resetSlice(w.zeroByz, n)
+		byz = w.zeroByz
+	}
+	if len(byz) != n {
+		return fmt.Errorf("core: byz vector length %d != n %d", len(byz), n)
+	}
+	cfg = cfg.withDefaults(n)
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if adv == nil {
+		adv = HonestAdversary{}
+	}
+
+	// Unmark the previous run's Byzantine slots before the topology or
+	// fault set underneath them changes.
+	w.clearByzIn()
+	topoChanged := w.topo != topo
+	w.topo = topo
+	w.Net = net
+	w.Byz = byz
+	w.Cfg = cfg
+	w.Sched = Schedule{D: net.Params.D, Epsilon: cfg.Epsilon}
+	w.Clock = Clock{}
+	w.adv = adv
+
+	if w.held == nil || len(w.held.Cur()) != n {
+		w.held = sim.NewExchange[int64](n)
+	} else {
+		w.held.Reset()
 	}
 	logLen := cfg.MaxPhase + 1
-	logs := make([]int64, n*logLen)
-	for v := 0; v < n; v++ {
-		w.heldLog[v] = logs[v*logLen : (v+1)*logLen]
-		w.colorSrc[v] = rng.Split(cfg.Seed, uint64(v))
-	}
-	w.pool = sim.NewPool(cfg.Workers)
-	var slots int32
-	w.byzSlot = make(map[int64]int32)
-	for v := 0; v < n; v++ {
-		if !byz[v] {
-			continue
+	if w.logN != n || w.logLen != logLen {
+		w.heldBuf = resetSlice(w.heldBuf, n*logLen)
+		w.heldLog = resetSlice(w.heldLog, n)
+		for v := 0; v < n; v++ {
+			w.heldLog[v] = w.heldBuf[v*logLen : (v+1)*logLen]
 		}
-		w.byzList = append(w.byzList, int32(v))
-		for _, nb := range net.H.Neighbors(v) {
-			key := byzKey(int32(v), nb)
-			if _, ok := w.byzSlot[key]; !ok {
-				w.byzSlot[key] = slots
-				slots++
+		w.logN, w.logLen = n, logLen
+	} else {
+		clear(w.heldBuf)
+	}
+	w.color = resetSlice(w.color, n)
+	w.decided = resetSlice(w.decided, n)
+	w.decidedRound = resetSlice(w.decidedRound, n)
+	w.crashed = resetSlice(w.crashed, n)
+	w.continueFlag = resetSlice(w.continueFlag, n)
+	w.maxEarly = resetSlice(w.maxEarly, n)
+	w.kFinal = resetSlice(w.kFinal, n)
+	w.views = resetSlice(w.views, n)
+	w.exchCand = resetSlice(w.exchCand, n)
+	if cap(w.colorSrc) < n {
+		w.colorSrc = make([]rng.Source, n)
+	} else {
+		w.colorSrc = w.colorSrc[:n]
+	}
+	for v := 0; v < n; v++ {
+		w.colorSrc[v].SeedSplit(cfg.Seed, uint64(v))
+	}
+
+	w.rebuildByzTables(topoChanged)
+
+	w.counters.Reset()
+	w.globalRound = 0
+	w.churnCrashes = 0
+	w.entryRound = 0
+	w.injectionEntries = nil
+	w.activePerPhase = w.activePerPhase[:0]
+	w.candOverflows.Store(0)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.Pool != nil:
+		if w.poolOwned && w.pool != nil {
+			w.pool.Close()
+		}
+		w.pool, w.poolOwned = cfg.Pool, false
+	case w.pool != nil && w.poolOwned && w.pool.Workers() == workers:
+		// Reuse the arena's pool from the previous run.
+	default:
+		if w.poolOwned && w.pool != nil {
+			w.pool.Close()
+		}
+		w.pool, w.poolOwned = sim.NewPool(workers), true
+	}
+
+	if w.stepFn == nil {
+		w.stepFn = func(start, end int) {
+			for v := start; v < end; v++ {
+				w.stepNode(v, w.stepRound, w.stepPhase, w.stepVerify)
 			}
 		}
 	}
-	w.byzSends = make([]int64, slots)
-	return w
+	if topoChanged || w.exchBFS == nil {
+		w.exchBFS = graph.NewBFS(net.H)
+	}
+	return nil
 }
 
-// Close releases the worker pool. Run calls it automatically.
-func (w *World) Close() { w.pool.Close() }
+// clearByzIn resets the slot marks left by the previous run's Byzantine
+// set, touching only the entries adjacent to those nodes (via the
+// reverse-edge index) instead of the whole O(E) table.
+func (w *World) clearByzIn() {
+	if w.topo == nil || len(w.byzIn) != len(w.topo.hAdj) {
+		return
+	}
+	for _, b := range w.byzList {
+		for e := w.topo.hOff[b]; e < w.topo.hOff[b+1]; e++ {
+			w.byzIn[w.topo.rev[e]] = -1
+		}
+	}
+}
+
+// rebuildByzTables assigns send slots for the current Byzantine set. Slot
+// numbering matches the seed engine's map-insertion order (Byzantine nodes
+// ascending, CSR adjacency order, parallel edges deduplicated), so latched
+// values land in the same slots the hash map would have used.
+func (w *World) rebuildByzTables(topoChanged bool) {
+	topo := w.topo
+	if topoChanged || len(w.byzIn) != len(topo.hAdj) {
+		w.byzIn = resetSlice(w.byzIn, len(topo.hAdj))
+		for i := range w.byzIn {
+			w.byzIn[i] = -1
+		}
+	}
+	w.byzList = w.byzList[:0]
+	slots := int32(0)
+	n := topo.Net.H.N()
+	for v := 0; v < n; v++ {
+		if !w.Byz[v] {
+			continue
+		}
+		w.byzList = append(w.byzList, int32(v))
+		prev := int32(-1)
+		var s int32
+		for e := topo.hOff[v]; e < topo.hOff[v+1]; e++ {
+			nb := topo.hAdj[e]
+			if nb != prev {
+				s = slots
+				slots++
+				prev = nb
+			}
+			w.byzIn[topo.rev[e]] = s
+		}
+	}
+	w.byzSends = resetSlice(w.byzSends, int(slots))
+}
+
+// Close releases the arena's worker pool (if it owns one — a pool supplied
+// via Config.Pool belongs to the caller). The arena can be Reset and used
+// again afterwards.
+func (w *World) Close() {
+	if w.poolOwned && w.pool != nil {
+		w.pool.Close()
+	}
+	w.pool, w.poolOwned = nil, false
+}
 
 // --- Read accessors (used by adversaries and reports) ---
 
@@ -158,7 +347,7 @@ func (w *World) viewNeighbors(v int, x int32) []int32 {
 			return claimed
 		}
 	}
-	return w.Net.H.Neighbors(int(x))
+	return w.topo.hAdj[w.topo.hOff[x]:w.topo.hOff[x+1]]
 }
 
 // activeCount returns the number of honest, uncrashed, undecided nodes.

@@ -56,8 +56,11 @@ func E08Baselines(sc Scale) *Table {
 	tcBad := baseline.TreeCount(net.H, one, 0, 1<<40)
 	t.AddRow("BFS-tree count (oracle leader)", 1, tcBad.CorrectFraction(n, one, band.Lo, band.Hi), "one inflated subtree count")
 
-	// Algorithm 1 under attack.
-	res1, err := core.Run(net, many, &adversary.Inflate{}, core.Config{
+	// Algorithm 1 under attack; both protocol runs share one arena (same
+	// network, so the topology tables carry over too).
+	arena := core.NewWorld()
+	defer arena.Close()
+	res1, err := arena.Run(net, many, &adversary.Inflate{}, core.Config{
 		Algorithm: core.AlgorithmBasic, Seed: seed + 6, MaxPhase: 14,
 	})
 	if err != nil {
@@ -68,7 +71,7 @@ func E08Baselines(sc Scale) *Table {
 		fmt.Sprintf("%d/%d never terminate (capped at phase 14)", s1.Undecided, s1.Honest))
 
 	// Algorithm 2 under the same attack.
-	res2, err := core.Run(net, many, &adversary.Inflate{}, core.Config{
+	res2, err := arena.Run(net, many, &adversary.Inflate{}, core.Config{
 		Algorithm: core.AlgorithmByzantine, Seed: seed + 6,
 	})
 	if err != nil {

@@ -16,6 +16,10 @@ import (
 // keep retains each job's full Result/Network/Byzantine state on the
 // outcome; experiments that fold Summaries alone pass false so the grid
 // holds O(1) results in memory instead of O(jobs · n).
+//
+// Execution cost per job is the arena steady state: each scheduler worker
+// reuses one core.World across its jobs, and cache-hit networks carry
+// their precomputed topology tables.
 func runSweep(jobs []sweep.Job, keep bool, obs func(sweep.Job) core.Observer) []sweep.Outcome {
 	outs, err := sweep.Run(jobs, sweep.Options{KeepResults: keep, Observer: obs})
 	if err != nil {

@@ -113,6 +113,16 @@ func (g *Graph) Neighbors(v int) []int32 {
 	return g.adjSlice(int32(v))
 }
 
+// CSR exposes the graph's compressed-sparse-row arrays: offsets has length
+// N()+1 and adj holds the concatenated sorted neighbor lists, so node v's
+// neighbors are adj[offsets[v]:offsets[v+1]]. Both slices alias internal
+// storage and must be treated as read-only. The protocol engine's inner
+// loop indexes these directly (and aligns its Byzantine send-slot tables
+// to adj positions) instead of calling Neighbors per node per round.
+func (g *Graph) CSR() (offsets, adj []int32) {
+	return g.offsets, g.adj
+}
+
 // HasEdge reports whether at least one edge {u, v} exists.
 func (g *Graph) HasEdge(u, v int) bool {
 	nb := g.adjSlice(int32(u))

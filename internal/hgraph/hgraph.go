@@ -324,9 +324,11 @@ func Classify(net *Network, byz []bool, delta float64) *Taxonomy {
 	}
 
 	// Multi-source BFS in G from all NLT nodes marks Unsafe; from all Bad
-	// nodes marks BUS.
+	// nodes marks BUS. One distance vector serves both passes (re-zeroed
+	// between them) — the second pass's sources are a superset, so the
+	// marking order is unaffected.
+	dist := make([]int32, n)
 	markWithin := func(sources []int32, out []bool) int {
-		dist := make([]int32, n)
 		for i := range dist {
 			dist[i] = graph.Unreached
 		}

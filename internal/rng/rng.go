@@ -35,6 +35,15 @@ func splitmix64(state *uint64) uint64 {
 // New returns a Source seeded from seed.
 func New(seed uint64) *Source {
 	var src Source
+	src.Seed(seed)
+	return &src
+}
+
+// Seed reseeds src in place, producing the same stream as New(seed)
+// without allocating. Arena-style callers (internal/core's per-node color
+// streams) reseed a flat []Source between runs instead of reallocating n
+// pointers per run.
+func (src *Source) Seed(seed uint64) {
 	sm := seed
 	for i := range src.s {
 		src.s[i] = splitmix64(&sm)
@@ -44,17 +53,24 @@ func New(seed uint64) *Source {
 	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
 		src.s[0] = 1
 	}
-	return &src
 }
 
 // Split derives an independent stream for the given subStream index.
 // Streams with different (seed, subStream) pairs are decorrelated because
 // the combined value passes through SplitMix64 twice before seeding.
 func Split(seed uint64, subStream uint64) *Source {
+	var src Source
+	src.SeedSplit(seed, subStream)
+	return &src
+}
+
+// SeedSplit reseeds src in place, producing the same stream as
+// Split(seed, subStream) without allocating.
+func (src *Source) SeedSplit(seed uint64, subStream uint64) {
 	sm := seed
 	a := splitmix64(&sm)
 	sm = a ^ (subStream * 0x9e3779b97f4a7c15)
-	return New(splitmix64(&sm))
+	src.Seed(splitmix64(&sm))
 }
 
 // Clone returns a copy of the stream that will produce the same future

@@ -16,11 +16,18 @@ import (
 
 // Pool is a fixed set of worker goroutines executing chunked parallel-for
 // loops. A Pool amortizes goroutine startup across the tens of thousands
-// of rounds a protocol run executes.
+// of rounds a protocol run executes, and is shareable: callers (the
+// core simulation arena, the sweep runner's per-worker arenas) own a Pool
+// across many runs instead of constructing one per run.
+//
+// A Pool serializes its parallel-for calls: For/ForChunks must not be
+// invoked concurrently from multiple goroutines (the completion WaitGroup
+// is part of the Pool so the dispatch path allocates nothing).
 type Pool struct {
 	workers int
 	tasks   chan task
 	wg      sync.WaitGroup
+	done    sync.WaitGroup // completion of the in-flight ForChunks
 	closed  bool
 }
 
@@ -28,7 +35,6 @@ type task struct {
 	fn    func(start, end int)
 	start int
 	end   int
-	done  *sync.WaitGroup
 }
 
 // NewPool creates a pool with the given number of workers; workers <= 0
@@ -44,7 +50,7 @@ func NewPool(workers int) *Pool {
 			defer p.wg.Done()
 			for t := range p.tasks {
 				t.fn(t.start, t.end)
-				t.done.Done()
+				p.done.Done()
 			}
 		}()
 	}
@@ -81,8 +87,7 @@ func (p *Pool) ForChunks(n int, fn func(start, end int)) {
 	if chunks > n {
 		chunks = n
 	}
-	var done sync.WaitGroup
-	done.Add(chunks)
+	p.done.Add(chunks)
 	size := (n + chunks - 1) / chunks
 	for c := 0; c < chunks; c++ {
 		start := c * size
@@ -90,9 +95,9 @@ func (p *Pool) ForChunks(n int, fn func(start, end int)) {
 		if end > n {
 			end = n
 		}
-		p.tasks <- task{fn: fn, start: start, end: end, done: &done}
+		p.tasks <- task{fn: fn, start: start, end: end}
 	}
-	done.Wait()
+	p.done.Wait()
 }
 
 // Close shuts the pool down. The Pool must not be used afterwards.
@@ -143,6 +148,14 @@ func (c *Counters) CountMessages(count, bits int) {
 
 // CountRound records the completion of one synchronous round.
 func (c *Counters) CountRound() { c.rounds.Add(1) }
+
+// Reset zeroes all counters so the instance can account a new run.
+func (c *Counters) Reset() {
+	c.messages.Store(0)
+	c.bits.Store(0)
+	c.maxBits.Store(0)
+	c.rounds.Store(0)
+}
 
 // Messages returns the total messages recorded.
 func (c *Counters) Messages() int64 { return c.messages.Load() }

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/hgraph"
 )
 
@@ -15,8 +16,13 @@ import (
 // pay it once. Generation is single-flight: concurrent demand for the
 // same Params blocks on one generator instead of duplicating the work.
 //
-// Cached networks are shared across jobs and must be treated as
-// immutable; the protocol engine only reads them.
+// Each entry carries the engine's precomputed tables (core.Topology:
+// CSR adjacency plus the reverse-edge index behind the Byzantine
+// send-slot table) alongside the network, so cache-hit jobs skip table
+// construction too.
+//
+// Cached networks and topologies are shared across jobs and must be
+// treated as immutable; the protocol engine only reads them.
 type NetCache struct {
 	mu     sync.Mutex
 	cap    int
@@ -28,8 +34,9 @@ type NetCache struct {
 
 type cacheEntry struct {
 	key   hgraph.Params
-	ready chan struct{} // closed once net/err are set
+	ready chan struct{} // closed once net/topo/err are set
 	net   *hgraph.Network
+	topo  *core.Topology
 	err   error
 }
 
@@ -54,6 +61,22 @@ func NewNetCache(capacity int) *NetCache {
 // Get returns the network for p, generating it on first use. Concurrent
 // callers with equal canonical Params share one generation.
 func (c *NetCache) Get(p hgraph.Params) (*hgraph.Network, error) {
+	e := c.entry(p)
+	return e.net, e.err
+}
+
+// GetTopology returns the precomputed engine tables for p's network,
+// generated (and cached alongside the network) on first use. Cache-hit
+// jobs hand the shared Topology straight to an arena's RunTopology, so a
+// topology is CSR-indexed exactly once no matter how many grid cells run
+// on it.
+func (c *NetCache) GetTopology(p hgraph.Params) (*core.Topology, error) {
+	e := c.entry(p)
+	return e.topo, e.err
+}
+
+// entry returns the ready cache entry for p, generating it on first use.
+func (c *NetCache) entry(p hgraph.Params) *cacheEntry {
 	p = p.Canonical()
 	c.mu.Lock()
 	if el, ok := c.items[p]; ok {
@@ -62,7 +85,7 @@ func (c *NetCache) Get(p hgraph.Params) (*hgraph.Network, error) {
 		c.hits++
 		c.mu.Unlock()
 		<-e.ready // wait for the in-flight generation if we raced it
-		return e.net, e.err
+		return e
 	}
 	c.misses++
 	e := &cacheEntry{key: p, ready: make(chan struct{})}
@@ -75,8 +98,11 @@ func (c *NetCache) Get(p hgraph.Params) (*hgraph.Network, error) {
 	c.mu.Unlock()
 
 	e.net, e.err = hgraph.New(p)
+	if e.err == nil {
+		e.topo = core.NewTopology(e.net)
+	}
 	close(e.ready)
-	return e.net, e.err
+	return e
 }
 
 // Stats reports cache hits and misses so far.

@@ -127,8 +127,14 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One simulation arena per worker, reused across jobs: the
+			// engine's per-run state and sim.Pool are rewound by Reset
+			// instead of reallocated, and cache-hit jobs reuse the
+			// cached network's precomputed topology tables.
+			arena := core.NewWorld()
+			defer arena.Close()
 			for i := range work {
-				outs[i] = execute(jobs[i], opts)
+				outs[i] = execute(jobs[i], opts, arena)
 				report(i)
 			}
 		}()
@@ -147,16 +153,17 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 	return outs, nil
 }
 
-// execute runs one job to completion.
-func execute(j Job, opts Options) Outcome {
+// execute runs one job to completion on the worker's arena.
+func execute(j Job, opts Options, arena *core.World) Outcome {
 	out := Outcome{Job: j}
 	start := time.Now()
 
-	net, err := opts.Cache.Get(j.Net)
+	topo, err := opts.Cache.GetTopology(j.Net)
 	if err != nil {
 		out.Err = err
 		return out
 	}
+	net := topo.Net
 	var byz []bool
 	if j.ByzCount > 0 {
 		pl, ok := hgraph.PlacementByName(j.Placement)
@@ -177,7 +184,7 @@ func execute(j Job, opts Options) Outcome {
 		obs = opts.Observer(j)
 		cfg.Observer = obs
 	}
-	res, err := core.Run(net, byz, adv, cfg)
+	res, err := arena.RunTopology(topo, byz, adv, cfg)
 	if err != nil {
 		out.Err = err
 		return out

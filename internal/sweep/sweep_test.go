@@ -82,8 +82,8 @@ func TestSpecNetworkSeedSharing(t *testing.T) {
 
 func TestSpecValidate(t *testing.T) {
 	bad := []Spec{
-		{},                                        // no sizes
-		{Sizes: []int{64}, Deltas: []float64{2}},  // delta out of range
+		{},                                       // no sizes
+		{Sizes: []int{64}, Deltas: []float64{2}}, // delta out of range
 		{Sizes: []int{64}, Adversaries: []string{"nope"}},
 		{Sizes: []int{64}, Placements: []string{"nope"}},
 		{Sizes: []int{64}, Algorithms: []string{"nope"}},
