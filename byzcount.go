@@ -57,8 +57,21 @@ type (
 	// adjacency and the Byzantine send-slot index), computed once per
 	// generated network and shareable across goroutines.
 	Topology = core.Topology
+	// FaultModel is one pluggable source of runtime faults (crash churn,
+	// join/rejoin churn, message loss) composed via Config.Faults.
+	FaultModel = core.FaultModel
+	// CrashChurn schedules permanent mid-run crash failures (the classic
+	// Config.Churn behavior as a fault model).
+	CrashChurn = core.CrashChurn
+	// JoinChurn schedules oblivious leave/rejoin churn (the dynamic
+	// regime of arXiv:2204.11951).
+	JoinChurn = core.JoinChurn
+	// MessageLoss drops each directed reception independently with a
+	// configured probability during the flooding rounds.
+	MessageLoss = core.MessageLoss
 	// SweepSpec declares a scenario grid (cartesian products over n, d,
-	// δ, adversary, placement, algorithm, ε, churn, trials).
+	// δ, adversary, placement, algorithm, ε, fault model, churn/join
+	// fraction, message loss, trials).
 	SweepSpec = sweep.Spec
 	// SweepOptions configures sweep execution (workers, cache, store).
 	SweepOptions = sweep.Options

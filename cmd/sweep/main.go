@@ -1,14 +1,18 @@
 // Command sweep runs a scenario grid through the parallel sweep
 // scheduler: cartesian products over network size, degree, fault
-// exponent δ, placement, adversary, algorithm, ε, and churn expand into
-// content-hashed jobs, execute across a bounded worker set with a shared
-// network cache, and stream into a JSONL result store. Re-running with
-// the same -store skips every job already recorded, so interrupted
-// full-scale sweeps resume where they stopped.
+// exponent δ, placement, adversary, algorithm, ε, churn model, message
+// loss, and churn/join fractions expand into content-hashed jobs, execute
+// across a bounded worker set with a shared network cache, and stream
+// into a JSONL result store. Re-running with the same -store skips every
+// job already recorded, so interrupted full-scale sweeps resume where
+// they stopped.
 //
 // Usage:
 //
 //	sweep -n 256,512 -delta 0.75 -adv none,inflate,oracle -trials 8
+//	sweep -n 1024 -loss 0,0.05,0.1 -adv inflate -trials 8     # lossy links
+//	sweep -n 1024 -fault join -join 0.1,0.2 -trials 8         # dynamic churn
+//	sweep -n 512 -delta 0.5 -placement random,degree,chain -adv chain-faker
 //	sweep -spec grid.json -store results.jsonl -workers 8
 //	sweep -spec grid.json -store results.jsonl            # resume
 //
@@ -33,11 +37,14 @@ func main() {
 		sizes      = flag.String("n", "256,512", "comma-separated network sizes")
 		degrees    = flag.String("d", "8", "comma-separated H-degrees")
 		deltas     = flag.String("delta", "0.75", "comma-separated fault exponents (0 = no faults)")
-		placements = flag.String("placement", "random", "comma-separated placements (random|clustered|spread)")
+		placements = flag.String("placement", "random", "comma-separated placements (random|clustered|spread|degree|chain)")
 		advs       = flag.String("adv", "none,inflate,suppress,oracle,topology-liar,chain-faker,combo", "comma-separated adversaries")
 		algs       = flag.String("alg", "byzantine", "comma-separated algorithms (basic|byzantine)")
 		epsilons   = flag.String("eps", "0", "comma-separated error parameters (0 = default)")
-		churns     = flag.String("churn", "0", "comma-separated churn fractions")
+		churns     = flag.String("churn", "0", "comma-separated crash-churn fractions")
+		faults     = flag.String("fault", "crash", "comma-separated churn fault models (crash|join)")
+		joins      = flag.String("join", "0", "comma-separated join/rejoin churn fractions (join model)")
+		losses     = flag.String("loss", "0", "comma-separated per-edge message loss probabilities")
 		trials     = flag.Int("trials", 8, "trials per grid cell")
 		seed       = flag.Uint64("seed", 1, "base seed")
 		workers    = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
@@ -68,6 +75,9 @@ func main() {
 			Algorithms:  splitList(*algs),
 			Epsilons:    parseFloats(*epsilons),
 			ChurnFracs:  parseFloats(*churns),
+			FaultModels: splitList(*faults),
+			JoinFracs:   parseFloats(*joins),
+			LossProbs:   parseFloats(*losses),
 			Trials:      *trials,
 			Seed:        *seed,
 		}

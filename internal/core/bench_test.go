@@ -87,22 +87,36 @@ func BenchmarkSubphase(b *testing.B) {
 // TestRoundLoopZeroAlloc is the acceptance guard for the arena: once a
 // run is set up, executing subphases — color generation, Byzantine send
 // latching, the full stepNode/verify loop, bookkeeping — must not
-// allocate, serial or parallel.
+// allocate, serial or parallel, with reliable links or under the
+// message-loss fault model (whose per-edge coin is pure arithmetic).
 func TestRoundLoopZeroAlloc(t *testing.T) {
 	net := benchNet(512)
 	byz := benchByz(512)
-	for _, workers := range []int{1, 4} {
-		w := NewWorld()
-		if err := w.Reset(net, byz, nil, Config{Algorithm: AlgorithmByzantine, Seed: 13, Workers: workers}); err != nil {
-			t.Fatal(err)
-		}
-		w.runSubphase(4, 1) // warm any lazy state
-		allocs := testing.AllocsPerRun(50, func() {
-			w.runSubphase(4, 1)
-		})
-		w.Close()
-		if allocs != 0 {
-			t.Errorf("workers=%d: round loop allocates %.1f objects per subphase, want 0", workers, allocs)
+	for _, tc := range []struct {
+		name   string
+		faults []FaultModel
+	}{
+		{name: "reliable", faults: nil},
+		{name: "loss", faults: []FaultModel{MessageLoss{Prob: 0.1}}},
+	} {
+		for _, workers := range []int{1, 4} {
+			w := NewWorld()
+			cfg := Config{Algorithm: AlgorithmByzantine, Seed: 13, Workers: workers, Faults: tc.faults}
+			if err := w.Reset(net, byz, nil, cfg); err != nil {
+				t.Fatal(err)
+			}
+			w.scheduleFaults()  // arm the loss plan as run() would
+			w.runSubphase(4, 1) // warm any lazy state
+			allocs := testing.AllocsPerRun(50, func() {
+				w.runSubphase(4, 1)
+			})
+			if tc.faults != nil && w.dropped.Load() == 0 {
+				t.Errorf("%s: loss model armed but nothing dropped — guard is vacuous", tc.name)
+			}
+			w.Close()
+			if allocs != 0 {
+				t.Errorf("%s workers=%d: round loop allocates %.1f objects per subphase, want 0", tc.name, workers, allocs)
+			}
 		}
 	}
 }

@@ -72,8 +72,16 @@ type Config struct {
 	// paper, which handles crashes only at the exchange): the configured
 	// number of random honest nodes permanently stop participating at the
 	// starts of random early phases. Estimation must survive on the
-	// remaining expander (experiment E15).
+	// remaining expander (experiment E15). Internally this is the
+	// CrashChurn fault model; the field remains for compatibility and is
+	// scheduled before any Faults entry.
 	Churn ChurnConfig
+	// Faults composes pluggable runtime fault models beyond Churn: each
+	// entry contributes scheduled crash/rejoin transitions (CrashChurn,
+	// JoinChurn) or per-edge message omission (MessageLoss) to the run.
+	// Models are scheduled in slice order; nil entries are ignored. Empty
+	// Faults is the paper's static reliable-network regime.
+	Faults []FaultModel
 }
 
 // ChurnConfig schedules mid-run crash failures.
@@ -121,6 +129,17 @@ func (c Config) Validate() error {
 	}
 	if c.Algorithm != AlgorithmBasic && c.Algorithm != AlgorithmByzantine {
 		return fmt.Errorf("core: unknown algorithm %d", c.Algorithm)
+	}
+	if c.Churn.Crashes < 0 {
+		return fmt.Errorf("core: negative churn crashes %d", c.Churn.Crashes)
+	}
+	for _, fm := range c.Faults {
+		if fm == nil {
+			continue
+		}
+		if err := fm.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

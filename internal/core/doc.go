@@ -20,6 +20,11 @@
 // state (including every honest node's clonable coin stream) and chooses
 // Byzantine behaviour per edge, per round.
 //
+// Runtime fault regimes beyond the paper's static reliable network are
+// pluggable via Config.Faults (see fault.go): scheduled crash churn,
+// oblivious join/rejoin churn (arXiv:2204.11951), and per-edge message
+// omission, all preserving determinism and the zero-allocation round loop.
+//
 // # Modeling choices
 //
 // Nodes are granted knowledge of their own H-incident edges, and the

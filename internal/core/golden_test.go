@@ -45,6 +45,8 @@ type goldenCase struct {
 	adversary string // adversary.ByName key
 	byzCount  int
 	churn     int
+	loss      float64 // MessageLoss probability (0 = reliable links)
+	join      int     // JoinChurn count (0 = no dynamic churn)
 	digest    string
 }
 
@@ -79,6 +81,19 @@ var goldenCases = []goldenCase{
 		digest: "5b7223160422c1a08a7f09ed6fbc2f3ae793cb7dc6486d186ab7a604d9156c32"},
 	{name: "byzantine/combo", algorithm: core.AlgorithmByzantine, adversary: "combo", byzCount: 3, churn: 0,
 		digest: "f7c31addf0efb6a44146ac844384c81dacd79079c063a504dfccd5164f988947"},
+
+	// Fault-model cases (PR 3). The cases above run with Config.Faults
+	// empty and pin the fault-model-off path byte-identical to the PR 2
+	// engine (their digests are untouched from the seed capture); the
+	// cases below pin the new message-loss and join-churn dynamics.
+	{name: "basic/none/loss", algorithm: core.AlgorithmBasic, adversary: "none", byzCount: 0, loss: 0.1,
+		digest: "c95802280d74cd77c96d3c4c616343742d2a15fad0bddb7edfd4e0c9375cf8bf"},
+	{name: "byzantine/inflate/loss", algorithm: core.AlgorithmByzantine, adversary: "inflate", byzCount: 3, loss: 0.1,
+		digest: "d22cf11bc06cad14b4612d5a8b29b82560bc5fdd9fad4bba51d97c066a842b39"},
+	{name: "byzantine/none/join", algorithm: core.AlgorithmByzantine, adversary: "none", byzCount: 0, join: 8,
+		digest: "1c03562a7995637c4c87e67125118bd96c783d287b0963d250ef6ba681935595"},
+	{name: "byzantine/inflate/join+loss+churn", algorithm: core.AlgorithmByzantine, adversary: "inflate", byzCount: 3, churn: 4, loss: 0.05, join: 6,
+		digest: "341fad05d1af4ce429d9e8083ad6b49e52dc29b8fbc7402b23f5c0cb8949e34b"},
 }
 
 func runGoldenCase(t testing.TB, net *hgraph.Network, gc goldenCase, workers int) *core.Result {
@@ -95,6 +110,12 @@ func runGoldenCase(t testing.TB, net *hgraph.Network, gc goldenCase, workers int
 		Seed:      goldenRunSeed,
 		Workers:   workers,
 		Churn:     core.ChurnConfig{Crashes: gc.churn, Seed: goldenRunSeed + 1},
+	}
+	if gc.join > 0 {
+		cfg.Faults = append(cfg.Faults, core.JoinChurn{Count: gc.join, Seed: goldenRunSeed + 2})
+	}
+	if gc.loss > 0 {
+		cfg.Faults = append(cfg.Faults, core.MessageLoss{Prob: gc.loss})
 	}
 	res, err := core.Run(net, byz, adv, cfg)
 	if err != nil {

@@ -28,8 +28,16 @@ type Result struct {
 	HonestCount    int
 	ByzantineCount int
 	CrashedCount   int // includes exchange crashes and churn crashes
-	ChurnCrashes   int // mid-run crash failures injected by Config.Churn
+	ChurnCrashes   int // mid-run crash failures injected by the fault models
 	UndecidedCount int
+
+	// Rejoins counts nodes a JoinChurn fault model brought back after a
+	// scheduled leave; DroppedMessages counts honest-side receptions
+	// omitted by a MessageLoss model. Both are zero (and absent from the
+	// canonical JSON, keeping fault-off digests stable) without fault
+	// models configured.
+	Rejoins         int   `json:"Rejoins,omitempty"`
+	DroppedMessages int64 `json:"DroppedMessages,omitempty"`
 
 	// ActivePerPhase[i-1] is the number of active honest nodes at the start
 	// of phase i (only recorded with Config.RecordPhaseActivity).

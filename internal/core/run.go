@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"repro/internal/hgraph"
-	"repro/internal/rng"
 )
 
 // Run executes one full protocol run on the given network. byz marks the
@@ -50,15 +49,10 @@ func (w *World) run() (*Result, error) {
 	if w.Cfg.Algorithm == AlgorithmByzantine {
 		w.runExchange()
 	}
-	churn := scheduleChurn(w.Cfg, w.Byz)
+	w.scheduleFaults()
 
 	for i := 1; i <= w.Cfg.MaxPhase; i++ {
-		for _, victim := range churn[i] {
-			if !w.crashed[victim] {
-				w.crashed[victim] = true
-				w.churnCrashes++
-			}
-		}
+		w.applyFaults(i)
 		active := w.activeCount()
 		if w.Cfg.RecordPhaseActivity {
 			w.activePerPhase = append(w.activePerPhase, active)
@@ -70,38 +64,6 @@ func (w *World) run() (*Result, error) {
 	}
 
 	return w.buildResult(), nil
-}
-
-// scheduleChurn assigns each churn victim a crash phase. Victims are drawn
-// uniformly from the honest nodes; phases uniformly from [2, LastPhase].
-func scheduleChurn(cfg Config, byz []bool) map[int][]int {
-	if cfg.Churn.Crashes <= 0 {
-		return nil
-	}
-	last := cfg.Churn.LastPhase
-	if last == 0 {
-		last = 6
-	}
-	if last < 2 {
-		last = 2
-	}
-	src := rng.New(cfg.Churn.Seed + 0xC4A5)
-	var honest []int
-	for v, b := range byz {
-		if !b {
-			honest = append(honest, v)
-		}
-	}
-	count := cfg.Churn.Crashes
-	if count > len(honest) {
-		count = len(honest)
-	}
-	schedule := make(map[int][]int, last)
-	for _, idx := range src.Sample(len(honest), count) {
-		phase := 2 + src.Intn(last-1)
-		schedule[phase] = append(schedule[phase], honest[idx])
-	}
-	return schedule
 }
 
 // runPhase executes phase i for every node in lockstep.
@@ -247,6 +209,8 @@ func (w *World) stepNode(v, t, i int, verify bool) {
 	hAdj := w.topo.hAdj
 	begin, end := w.topo.hOff[v], w.topo.hOff[v+1]
 
+	lossy := w.plan.lossThresh != 0
+
 	if w.Byz[v] {
 		// Bookkeeping only: Byzantine nodes "hold" the max of everything
 		// they hear, giving strategies a sane protocol-following default.
@@ -254,6 +218,9 @@ func (w *World) stepNode(v, t, i int, verify bool) {
 		for e := begin; e < end; e++ {
 			nb := hAdj[e]
 			if !w.crashed[nb] && cur[nb] > best {
+				if lossy && w.dropRecv(e) {
+					continue
+				}
 				best = cur[nb]
 			}
 		}
@@ -282,6 +249,12 @@ func (w *World) stepNode(v, t, i int, verify bool) {
 			c = cur[nb]
 		}
 		if c == 0 {
+			continue
+		}
+		// Omission faults: the reception on this directed edge is lost in
+		// transit this round (the sender still paid to transmit).
+		if lossy && w.dropRecv(e) {
+			w.dropped.Add(1)
 			continue
 		}
 		if c <= heldv {
@@ -380,5 +353,7 @@ func (w *World) buildResult() *Result {
 	}
 	res.HonestCount = n - res.ByzantineCount
 	res.ChurnCrashes = w.churnCrashes
+	res.Rejoins = w.rejoins
+	res.DroppedMessages = w.dropped.Load()
 	return res
 }

@@ -90,8 +90,18 @@ type World struct {
 	entryRound       int
 	injectionEntries map[int]int
 
-	// churnCrashes counts mid-run crash failures injected by Config.Churn.
+	// churnCrashes counts mid-run crash failures injected by the fault
+	// models (Config.Churn and Config.Faults); rejoins counts nodes a
+	// JoinChurn model brought back.
 	churnCrashes int
+	rejoins      int
+
+	// plan is the run's fault schedule (crash/rejoin events, message-loss
+	// parameters), rebuilt from the configured FaultModels each run inside
+	// reusable scratch. dropped counts honest-side receptions omitted by
+	// message loss (atomic: stepNode runs in parallel).
+	plan    FaultPlan
+	dropped atomic.Int64
 }
 
 // NewWorld returns an empty arena. Reset it before running; Close it when
@@ -195,6 +205,9 @@ func (w *World) ResetTopology(topo *Topology, byz []bool, adv Adversary, cfg Con
 	w.counters.Reset()
 	w.globalRound = 0
 	w.churnCrashes = 0
+	w.rejoins = 0
+	w.plan.reset(n)
+	w.dropped.Store(0)
 	w.entryRound = 0
 	w.injectionEntries = nil
 	w.activePerPhase = w.activePerPhase[:0]

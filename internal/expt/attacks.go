@@ -185,10 +185,12 @@ func RunAll(sc Scale) []*Table {
 		E15Churn(sc),
 		E16DegreeTradeoff(sc),
 		E17Composition(sc),
+		E18MessageLoss(sc),
+		E19JoinChurn(sc),
 	}
 }
 
-// ByID returns the experiment function matching the given ID ("E1".."E17"),
+// ByID returns the experiment function matching the given ID ("E1".."E19"),
 // or nil if unknown.
 func ByID(id string) func(Scale) *Table {
 	m := map[string]func(Scale) *Table{
@@ -209,6 +211,8 @@ func ByID(id string) func(Scale) *Table {
 		"E15": E15Churn,
 		"E16": E16DegreeTradeoff,
 		"E17": E17Composition,
+		"E18": E18MessageLoss,
+		"E19": E19JoinChurn,
 	}
 	return m[id]
 }

@@ -82,7 +82,7 @@ func TestE12(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"} {
 		if ByID(id) == nil {
 			t.Fatalf("ByID(%q) = nil", id)
 		}
@@ -134,7 +134,7 @@ func TestE13(t *testing.T) {
 	}
 	tb := E13Placement(Scale{Sizes: []int{256}, Trials: 1, Seed: 29})
 	checkTable(t, tb, "E13")
-	if len(tb.Rows) != 3 { // three placements
+	if len(tb.Rows) != 5 { // random, clustered, spread, degree, chain
 		t.Fatalf("E13 rows = %d", len(tb.Rows))
 	}
 }
@@ -149,6 +149,58 @@ func TestE15(t *testing.T) {
 	checkTable(t, tb, "E15")
 	if len(tb.Rows) != 4 { // four churn fractions
 		t.Fatalf("E15 rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE18(t *testing.T) {
+	tb := E18MessageLoss(Scale{Sizes: []int{256}, Trials: 1, Seed: 35})
+	checkTable(t, tb, "E18")
+	if len(tb.Rows) != 10 { // five loss levels × two adversary regimes
+		t.Fatalf("E18 rows = %d", len(tb.Rows))
+	}
+	// The p=0 clean row must show zero drops; some lossy row must not.
+	if tb.Rows[0][7] != "0" {
+		t.Fatalf("E18 reliable row reports drops: %v", tb.Rows[0])
+	}
+	sawDrops := false
+	for _, row := range tb.Rows[2:] {
+		if row[7] != "0" {
+			sawDrops = true
+		}
+	}
+	if !sawDrops {
+		t.Fatal("E18 lossy rows report no drops")
+	}
+}
+
+func TestE19(t *testing.T) {
+	tb := E19JoinChurn(Scale{Sizes: []int{256}, Trials: 1, Seed: 37})
+	checkTable(t, tb, "E19")
+	if len(tb.Rows) != 4 { // four join fractions
+		t.Fatalf("E19 rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][2] != "0" {
+		t.Fatalf("E19 zero-churn row reports rejoins: %v", tb.Rows[0])
+	}
+	if tb.Rows[3][2] == "0" {
+		t.Fatalf("E19 20%% churn row reports no rejoins: %v", tb.Rows[3])
+	}
+}
+
+// TestE18E19Deterministic re-runs both fault experiments and requires
+// identical rendered tables: the scheduler may fan runs across any number
+// of workers, but expansion-order aggregation must make the output
+// invariant (the acceptance property for the fault-model tables).
+func TestE18E19Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := Scale{Sizes: []int{256}, Trials: 2, Seed: 39}
+	if a, b := E18MessageLoss(sc).Markdown(), E18MessageLoss(sc).Markdown(); a != b {
+		t.Fatal("E18 not deterministic across runs")
+	}
+	if a, b := E19JoinChurn(sc).Markdown(), E19JoinChurn(sc).Markdown(); a != b {
+		t.Fatal("E19 not deterministic across runs")
 	}
 }
 

@@ -1,0 +1,154 @@
+package expt
+
+import (
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// faults.go holds the fault-model experiments E18 (message loss) and E19
+// (dynamic join/rejoin churn): the two regimes the pluggable fault layer
+// adds beyond the paper's static reliable-network model. Both build their
+// job grids in aggregation order and run through the sweep scheduler, so
+// the tables are deterministic and identical at any worker count.
+
+// E18MessageLoss measures estimate quality under per-edge message
+// omission, with and without a simultaneous Byzantine attack: the
+// omission-fault regime Nesterenko & Tixeuil motivate for topology-aware
+// protocols, applied here to the flooding rounds.
+func E18MessageLoss(sc Scale) *Table {
+	t := &Table{
+		ID:    "E18",
+		Title: "Extension: message loss during flooding",
+		PaperClaim: "Beyond the paper (which assumes reliable synchronous links): every " +
+			"directed H-edge reception is independently dropped with probability p. " +
+			"Flooding reaches each node along many edge-disjoint expander paths, so " +
+			"moderate omission should cost at most slowed propagation, not correctness.",
+		Columns: []string{"n", "loss p", "adversary", "B(n)", "correct fraction", "undecided", "rounds", "dropped frac"},
+		Notes: "Dropped frac = omitted receptions / honest messages sent. Estimates ride " +
+			"the subphase maximum, which needs only one surviving path per node per " +
+			"subphase; the correct fraction holds through p = 0.1 with rounds drifting " +
+			"up as propagation slows by roughly 1/(1−p). Loss composes with the " +
+			"Inflate attack (δ = 0.75) without interaction: verification never " +
+			"mistakes a dropped message for a Byzantine one. At p = 0.2 the earliest " +
+			"subphases start missing nodes and the undecided column begins to move.",
+	}
+	losses := []float64{0, 0.02, 0.05, 0.1, 0.2}
+	advs := []struct {
+		name  string
+		delta float64
+	}{
+		{"none", 0},
+		{"inflate", 0.75},
+	}
+	var jobs []sweep.Job
+	for ci, n := range sc.Sizes {
+		for li, loss := range losses {
+			for ai, a := range advs {
+				b := 0
+				if a.delta > 0 {
+					b = hgraph.ByzantineBudget(n, a.delta)
+				}
+				for trial := 0; trial < sc.Trials; trial++ {
+					seed := sc.seedFor(ci*100+li*10+ai, trial)
+					jobs = append(jobs, sweep.Job{
+						Net:       hgraph.Params{N: n, D: 8, Seed: seed},
+						Delta:     a.delta,
+						ByzCount:  b,
+						PlaceSeed: seed + 0xB12,
+						Adversary: a.name,
+						Algorithm: core.AlgorithmByzantine,
+						RunSeed:   seed + 0x5EED,
+						LossProb:  loss,
+					})
+				}
+			}
+		}
+	}
+	outs := runSweep(jobs, false, nil)
+	idx := 0
+	for _, n := range sc.Sizes {
+		for _, loss := range losses {
+			for _, a := range advs {
+				b := 0
+				if a.delta > 0 {
+					b = hgraph.ByzantineBudget(n, a.delta)
+				}
+				var correct, undecided, rounds, dropFrac stats.Online
+				for trial := 0; trial < sc.Trials; trial++ {
+					s := outs[idx].Summary
+					idx++
+					correct.Add(s.CorrectFraction)
+					undecided.Add(float64(s.Undecided))
+					rounds.Add(float64(s.Rounds))
+					if s.Messages > 0 {
+						dropFrac.Add(float64(s.DroppedMessages) / float64(s.Messages))
+					}
+				}
+				t.AddRow(n, loss, a.name, b, correct.Mean(), undecided.Mean(), rounds.Mean(), dropFrac.Mean())
+			}
+		}
+	}
+	return t
+}
+
+// E19JoinChurn measures estimate quality under oblivious leave/rejoin
+// churn: the dynamic-network regime of the successor paper
+// (arXiv:2204.11951), where nodes drop out mid-run and return a few
+// phases later expecting the protocol to still deliver them an estimate.
+func E19JoinChurn(sc Scale) *Table {
+	t := &Table{
+		ID:    "E19",
+		Title: "Extension: dynamic join/rejoin churn",
+		PaperClaim: "Beyond the paper: an oblivious schedule takes a fraction of nodes " +
+			"offline at phases 2..6 and returns them after 1–2 phases " +
+			"(Byzantine-resilient counting in dynamic networks, arXiv:2204.11951, is " +
+			"the motivating regime). Returning nodes must re-converge: the schedule's " +
+			"later phases re-run the subphase maximum from scratch, so absentees lose " +
+			"nothing but the phases they missed.",
+		Columns: []string{"n", "join frac", "rejoined", "still down", "correct fraction", "undecided", "rounds"},
+		Notes: "Rejoined = nodes whose leave/rejoin cycle completed; still down = " +
+			"scheduled rejoins the run never reached (it ended first) plus cycles " +
+			"pre-empted by exchange crashes. Rejoined nodes decide in the phases " +
+			"after their return, so the correct fraction (counting every honest node, " +
+			"down or not) tracks 1 − (still down)/n rather than 1 − join frac: " +
+			"dynamic membership costs availability during the outage, not accuracy " +
+			"after it.",
+	}
+	fracs := []float64{0, 0.05, 0.1, 0.2}
+	var jobs []sweep.Job
+	for ci, n := range sc.Sizes {
+		for fi, frac := range fracs {
+			for trial := 0; trial < sc.Trials; trial++ {
+				seed := sc.seedFor(ci*10+fi, trial)
+				jobs = append(jobs, sweep.Job{
+					Net:        hgraph.Params{N: n, D: 8, Seed: seed},
+					Algorithm:  core.AlgorithmByzantine,
+					RunSeed:    seed + 23,
+					FaultModel: "join",
+					JoinFrac:   frac,
+					ChurnSeed:  seed + 29,
+				})
+			}
+		}
+	}
+	outs := runSweep(jobs, false, nil)
+	idx := 0
+	for _, n := range sc.Sizes {
+		for _, frac := range fracs {
+			var rejoined, down, correct, undecided, rounds stats.Online
+			for trial := 0; trial < sc.Trials; trial++ {
+				s := outs[idx].Summary
+				idx++
+				rejoined.Add(float64(s.Rejoins))
+				down.Add(float64(s.Crashed))
+				correct.Add(s.CorrectFraction)
+				undecided.Add(float64(s.Undecided))
+				rounds.Add(float64(s.Rounds))
+			}
+			t.AddRow(n, frac, rejoined.Mean(), down.Mean(), correct.Mean(), undecided.Mean(), rounds.Mean())
+		}
+	}
+	return t
+}

@@ -1,6 +1,6 @@
-// Package expt defines the reproduction experiment suite E1–E17 mapping
-// every quantitative claim of the paper to a measurable run (see DESIGN.md
-// §3 for the index). Each experiment produces a Table that cmd/experiments
+// Package expt defines the reproduction experiment suite E1–E19 mapping
+// every quantitative claim of the paper — plus the fault-model extensions
+// beyond it — to a measurable run (see DESIGN.md §3 for the index). Each experiment produces a Table that cmd/experiments
 // renders into EXPERIMENTS.md and that bench_test.go regenerates under
 // `go test -bench`. The protocol-running experiments execute their runs
 // through the internal/sweep scheduler (see sweeprun.go).

@@ -1,6 +1,8 @@
 package hgraph
 
 import (
+	"sort"
+
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -82,14 +84,102 @@ func PlaceByzantineSpread(h *graph.Graph, count int, src *rng.Source) []bool {
 	return byz
 }
 
+// PlaceByzantineDegree marks the count nodes with the largest radius-k
+// audience |Ball(v, k)| — the degree-targeted adaptive placement. H is
+// d-regular, so raw degree carries no signal; what varies is reach: how
+// many victims hear a node's exchange claims (lies are heard exactly
+// within the radius-k ball) and how many distinct channels its floods
+// enter. Ties — the common case away from parallel edges — break by a
+// seeded random permutation, so the placement stays a random draw over
+// the maximum-audience nodes.
+func PlaceByzantineDegree(h *graph.Graph, count int, src *rng.Source) []bool {
+	n := h.N()
+	if count < 0 || count > n {
+		panic("hgraph: degree placement count out of range")
+	}
+	byz := make([]bool, n)
+	if count == 0 {
+		return byz
+	}
+	k := DefaultK(h.Degree(0))
+	score := make([]int, n)
+	scratch := graph.NewBFS(h)
+	for v := 0; v < n; v++ {
+		nodes, _ := graph.BallWith(scratch, v, k)
+		score[v] = len(nodes)
+	}
+	order := src.Perm(n)
+	sort.SliceStable(order, func(a, b int) bool {
+		return score[order[a]] > score[order[b]]
+	})
+	for _, v := range order[:count] {
+		byz[v] = true
+	}
+	return byz
+}
+
+// PlaceByzantineChain marks count nodes by growing random self-avoiding
+// walks in H: the chain-seeking adaptive placement. Where the clustered
+// placement fills a BFS ball (chains arise as a side effect), this one
+// manufactures the k-node Byzantine chains of Observation 6 directly —
+// every walk is itself a chain — which is the cheapest way an adversary
+// controlling positions re-opens the mid-subphase injection channel.
+func PlaceByzantineChain(h *graph.Graph, count int, src *rng.Source) []bool {
+	n := h.N()
+	if count < 0 || count > n {
+		panic("hgraph: chain placement count out of range")
+	}
+	byz := make([]bool, n)
+	if count == 0 {
+		return byz
+	}
+	cur := src.Intn(n)
+	byz[cur] = true
+	placed := 1
+	var cands []int32
+	for placed < count {
+		// Extend the walk through a uniform unmarked distinct neighbor.
+		cands = cands[:0]
+		for _, nb := range h.UniqueNeighbors(cur) {
+			if !byz[nb] {
+				cands = append(cands, nb)
+			}
+		}
+		if len(cands) > 0 {
+			cur = int(cands[src.Intn(len(cands))])
+		} else {
+			// Dead end: every neighbor is already Byzantine. Restart the
+			// walk from an exactly-uniform unmarked node (an index draw
+			// with linear probing would bias toward nodes that follow
+			// marked runs).
+			pick := src.Intn(n - placed)
+			for v := 0; ; v++ {
+				if byz[v] {
+					continue
+				}
+				if pick == 0 {
+					cur = v
+					break
+				}
+				pick--
+			}
+		}
+		byz[cur] = true
+		placed++
+	}
+	return byz
+}
+
 // PlacementFunc names a Byzantine placement strategy for experiment sweeps.
 type PlacementFunc struct {
 	Name  string
 	Place func(h *graph.Graph, count int, src *rng.Source) []bool
 }
 
-// Placements returns the three placement strategies: the paper's random
-// model plus the two adversarial extremes.
+// Placements returns the placement strategies: the paper's random model,
+// the two structural extremes (clustered, spread), and the two adaptive
+// placements (degree-targeted, chain-seeking). Order is append-only —
+// experiment seeds index into it.
 func Placements() []PlacementFunc {
 	return []PlacementFunc{
 		{Name: "random", Place: func(h *graph.Graph, count int, src *rng.Source) []bool {
@@ -97,6 +187,8 @@ func Placements() []PlacementFunc {
 		}},
 		{Name: "clustered", Place: PlaceByzantineClustered},
 		{Name: "spread", Place: PlaceByzantineSpread},
+		{Name: "degree", Place: PlaceByzantineDegree},
+		{Name: "chain", Place: PlaceByzantineChain},
 	}
 }
 

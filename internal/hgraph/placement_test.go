@@ -73,8 +73,14 @@ func TestSpreadVsClusteredChainContrast(t *testing.T) {
 
 func TestPlacementsRegistry(t *testing.T) {
 	ps := Placements()
-	if len(ps) != 3 {
+	if len(ps) != 5 {
 		t.Fatalf("placements = %d", len(ps))
+	}
+	// Order is append-only: experiment seed formulas index into it.
+	for i, want := range []string{"random", "clustered", "spread", "degree", "chain"} {
+		if ps[i].Name != want {
+			t.Fatalf("placement %d = %s, want %s", i, ps[i].Name, want)
+		}
 	}
 	h := GenerateH(256, 8, rng.New(12))
 	for _, p := range ps {
@@ -85,11 +91,86 @@ func TestPlacementsRegistry(t *testing.T) {
 	}
 }
 
+func TestChainPlacementManufacturesChains(t *testing.T) {
+	h := GenerateH(1024, 8, rng.New(15))
+	k := DefaultK(8)
+	byz := PlaceByzantineChain(h, 12, rng.New(16))
+	if got := countTrue(byz); got != 12 {
+		t.Fatalf("chain placed %d, want 12", got)
+	}
+	// A single uninterrupted walk IS a chain of its full length; even with
+	// restarts the longest chain must clear k (12 nodes, degree 8: a walk
+	// dead-ends only inside an already-placed pocket).
+	if chain := LongestByzantineChain(h, byz, 12); chain < k {
+		t.Fatalf("chain-seeking placement chain = %d, want >= k = %d", chain, k)
+	}
+	// And it must beat random placement at the same tiny budget, where
+	// chains of length k are rare (Observation 6).
+	randChain := LongestByzantineChain(h, PlaceByzantine(1024, 12, rng.New(17)), 12)
+	if chain := LongestByzantineChain(h, byz, 12); chain <= randChain && randChain < k {
+		t.Fatalf("chain placement (%d) no better than random (%d)", chain, randChain)
+	}
+}
+
+func TestChainPlacementSurvivesDeadEnds(t *testing.T) {
+	// Count close to n forces repeated dead ends and restarts.
+	h := GenerateH(64, 8, rng.New(18))
+	byz := PlaceByzantineChain(h, 60, rng.New(19))
+	if got := countTrue(byz); got != 60 {
+		t.Fatalf("chain placed %d, want 60", got)
+	}
+}
+
+func TestDegreePlacementTargetsLargestAudience(t *testing.T) {
+	h := GenerateH(512, 8, rng.New(20))
+	const count = 16
+	byz := PlaceByzantineDegree(h, count, rng.New(21))
+	if got := countTrue(byz); got != count {
+		t.Fatalf("degree placed %d, want %d", got, count)
+	}
+	// Every placed node's radius-k audience must be >= every unplaced
+	// node's (modulo ties, which the strict comparison allows for).
+	k := DefaultK(8)
+	minPlaced, maxUnplaced := 1<<30, 0
+	for v := 0; v < 512; v++ {
+		a := len(h.Ball(v, k))
+		if byz[v] && a < minPlaced {
+			minPlaced = a
+		}
+		if !byz[v] && a > maxUnplaced {
+			maxUnplaced = a
+		}
+	}
+	if minPlaced < maxUnplaced {
+		t.Fatalf("placed audience %d < unplaced audience %d", minPlaced, maxUnplaced)
+	}
+}
+
+func TestAdaptivePlacementsDeterministic(t *testing.T) {
+	h := GenerateH(256, 8, rng.New(22))
+	for _, p := range []struct {
+		name  string
+		place func() []bool
+	}{
+		{"degree", func() []bool { return PlaceByzantineDegree(h, 9, rng.New(23)) }},
+		{"chain", func() []bool { return PlaceByzantineChain(h, 9, rng.New(23)) }},
+	} {
+		a, b := p.place(), p.place()
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("%s placement not deterministic at node %d", p.name, v)
+			}
+		}
+	}
+}
+
 func TestPlacementPanics(t *testing.T) {
 	h := GenerateH(64, 8, rng.New(14))
 	for _, fn := range []func(){
 		func() { PlaceByzantineClustered(h, -1, rng.New(1)) },
 		func() { PlaceByzantineSpread(h, 65, rng.New(1)) },
+		func() { PlaceByzantineDegree(h, -1, rng.New(1)) },
+		func() { PlaceByzantineChain(h, 65, rng.New(1)) },
 	} {
 		func() {
 			defer func() {

@@ -46,6 +46,13 @@ type Summary struct {
 	Messages       int64
 	Bits           int64
 	MaxMessageBits int64
+
+	// Rejoins counts nodes brought back by join/rejoin churn;
+	// DroppedMessages counts receptions omitted by message loss. Zero
+	// (and absent from stored JSON) without the corresponding fault
+	// model, so pre-fault-model store records stay compatible.
+	Rejoins         int   `json:"rejoins,omitempty"`
+	DroppedMessages int64 `json:"dropped_messages,omitempty"`
 	// BitsPerNodeRound normalizes communication: total bits over honest
 	// nodes and rounds.
 	BitsPerNodeRound float64
@@ -54,16 +61,18 @@ type Summary struct {
 // Summarize computes the Summary of r under band.
 func Summarize(r *core.Result, band Band) Summary {
 	s := Summary{
-		N:              r.N,
-		LogN:           r.LogN,
-		Honest:         r.HonestCount,
-		Crashed:        r.CrashedCount,
-		Undecided:      r.UndecidedCount,
-		Rounds:         r.Rounds,
-		Phases:         r.Phases,
-		Messages:       r.Messages,
-		Bits:           r.Bits,
-		MaxMessageBits: r.MaxMessageBits,
+		N:               r.N,
+		LogN:            r.LogN,
+		Honest:          r.HonestCount,
+		Crashed:         r.CrashedCount,
+		Undecided:       r.UndecidedCount,
+		Rounds:          r.Rounds,
+		Phases:          r.Phases,
+		Messages:        r.Messages,
+		Bits:            r.Bits,
+		MaxMessageBits:  r.MaxMessageBits,
+		Rejoins:         r.Rejoins,
+		DroppedMessages: r.DroppedMessages,
 	}
 	var ratios []float64
 	for v := 0; v < r.N; v++ {

@@ -50,7 +50,7 @@ func Total(groups []Group) metrics.Aggregate {
 }
 
 var aggregateColumns = []string{
-	"n", "d", "δ", "B", "placement", "adversary", "alg", "ε", "churn",
+	"n", "d", "δ", "B", "placement", "adversary", "alg", "ε", "churn", "loss",
 	"trials", "correct", "survivor", "crashed", "undecided", "ratio med", "rounds",
 }
 
@@ -70,9 +70,13 @@ func (g Group) row() []string {
 		eps = 0.1 // the core default actually in effect
 	}
 	f := func(v float64) string { return fmt.Sprintf("%.4g", v) }
+	churn := fmt.Sprint(j.ChurnCrashes)
+	if j.FaultModel == "join" {
+		churn = fmt.Sprintf("join %.4g", j.JoinFrac)
+	}
 	return []string{
 		fmt.Sprint(j.Net.N), fmt.Sprint(j.Net.D), f(j.Delta), fmt.Sprint(j.ByzCount),
-		placement, adv, j.Algorithm.String(), f(eps), fmt.Sprint(j.ChurnCrashes),
+		placement, adv, j.Algorithm.String(), f(eps), churn, f(j.LossProb),
 		fmt.Sprint(g.Agg.Trials),
 		f(g.Agg.CorrectFraction.Mean()), f(g.Agg.SurvivorCorrect.Mean()),
 		f(g.Agg.CrashedFraction.Mean()), f(g.Agg.Undecided.Mean()),

@@ -1,0 +1,209 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hgraph"
+)
+
+// pinnedKeys are Job.Key() values captured before the fault-model axes
+// existed (PR 2 engine). They must never change: the result store
+// addresses completed work by these hashes, so a drift would silently
+// orphan every store on disk. If this test fails, a field was added to
+// Job without omitempty (or a normalization changed) — fix the encoding,
+// do not repin.
+var pinnedKeys = []struct {
+	job Job
+	key string
+}{
+	{Job{Net: hgraph.Params{N: 256, D: 8, Seed: 42}, Algorithm: core.AlgorithmByzantine, RunSeed: 7},
+		"6a9fe0ffdb7d1b8478995a85dcc21ebc835aba433ed2007a21c0ce156d62a731"},
+	{Job{Net: hgraph.Params{N: 512, D: 8, Seed: 43}, Delta: 0.75, ByzCount: 4, Placement: "clustered",
+		PlaceSeed: 9, Adversary: "inflate", Algorithm: core.AlgorithmByzantine, Epsilon: 0.2,
+		RunSeed: 8, ChurnCrashes: 10, ChurnSeed: 11, Trial: 3},
+		"f2312a1581a9a0e487be4048810ad78f9950b58f85f6b81ffd6c74f132969ec6"},
+	{Job{Net: hgraph.Params{N: 128, D: 8, Seed: 44}, Algorithm: core.AlgorithmBasic, MaxPhase: 9,
+		InjectionThreshold: 5, RunSeed: 12},
+		"4d7ee10b8836039b9c34d3447c5c0ccd8f6492a7935b13e8fc751cb5ca96a0aa"},
+}
+
+func TestJobKeysPinnedAcrossAxisAdditions(t *testing.T) {
+	for i, p := range pinnedKeys {
+		if got := p.job.Key(); got != p.key {
+			t.Errorf("pinned job %d key drifted:\n got %s\nwant %s", i, got, p.key)
+		}
+	}
+}
+
+func TestJobKeyFaultAxisNormalization(t *testing.T) {
+	base := Job{Net: hgraph.Params{N: 64, D: 8, Seed: 1}, RunSeed: 2}
+	// The spellable crash default hashes like the unset field.
+	crash := base
+	crash.FaultModel = "crash"
+	if base.Key() != crash.Key() {
+		t.Fatal("fault model \"crash\" changed the content key")
+	}
+	// A join model with nothing joining is identical work to no churn.
+	emptyJoin := base
+	emptyJoin.FaultModel = "join"
+	if base.Key() != emptyJoin.Key() {
+		t.Fatal("join model with JoinFrac 0 changed the content key")
+	}
+	// The crash regime ignores JoinFrac; the hash must too.
+	strayJoin := base
+	strayJoin.JoinFrac = 0.5
+	if base.Key() != strayJoin.Key() {
+		t.Fatal("JoinFrac under the crash regime changed the content key")
+	}
+	// The join regime ignores ChurnCrashes; the hash must too.
+	join := base
+	join.FaultModel, join.JoinFrac = "join", 0.1
+	strayCrashes := join
+	strayCrashes.ChurnCrashes = 7
+	if join.Key() != strayCrashes.Key() {
+		t.Fatal("ChurnCrashes under the join regime changed the content key")
+	}
+	// Real fault axes do split keys.
+	for name, j := range map[string]Job{
+		"loss": {Net: base.Net, RunSeed: 2, LossProb: 0.05},
+		"join": join,
+	} {
+		if j.Key() == base.Key() {
+			t.Fatalf("%s axis did not change the content key", name)
+		}
+	}
+}
+
+func TestSpecFaultAxesExpansion(t *testing.T) {
+	spec := Spec{
+		Name:        "faults",
+		Sizes:       []int{64},
+		FaultModels: []string{"crash", "join"},
+		ChurnFracs:  []float64{0, 0.1},
+		JoinFracs:   []float64{0.05, 0.1, 0.2},
+		LossProbs:   []float64{0, 0.02},
+		Trials:      2,
+		Seed:        9,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// crash crosses ChurnFracs (2), join crosses JoinFracs (3); each
+	// crosses LossProbs (2) and Trials (2).
+	want := (2 + 3) * 2 * 2
+	if len(jobs) != want {
+		t.Fatalf("expanded %d jobs, want %d", len(jobs), want)
+	}
+	crash, join, lossy := 0, 0, 0
+	for _, j := range jobs {
+		switch j.FaultModel {
+		case "crash":
+			crash++
+			if j.JoinFrac != 0 {
+				t.Fatalf("crash job carries JoinFrac %v", j.JoinFrac)
+			}
+		case "join":
+			join++
+			if j.ChurnCrashes != 0 {
+				t.Fatalf("join job carries ChurnCrashes %d", j.ChurnCrashes)
+			}
+			if j.JoinFrac == 0 {
+				t.Fatal("join job lost its fraction")
+			}
+		default:
+			t.Fatalf("job with fault model %q", j.FaultModel)
+		}
+		if j.LossProb > 0 {
+			lossy++
+		}
+	}
+	if crash != 2*2*2 || join != 3*2*2 {
+		t.Fatalf("crash/join split %d/%d, want 8/12", crash, join)
+	}
+	if lossy != want/2 {
+		t.Fatalf("%d lossy jobs, want %d", lossy, want/2)
+	}
+}
+
+// TestSpecDefaultExpansionHasNoFaultAxes: a spec that predates the fault
+// axes must expand to jobs whose keys are what they were before the axes
+// existed (the empty-axes defaults are invisible to the hash).
+func TestSpecDefaultExpansionHasNoFaultAxes(t *testing.T) {
+	jobs, err := testSpec().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.FaultModel != "crash" {
+			t.Fatalf("default expansion fault model %q, want crash", j.FaultModel)
+		}
+		if j.JoinFrac != 0 || j.LossProb != 0 {
+			t.Fatalf("default expansion leaked fault values: %+v", j)
+		}
+		// The "crash" spelling must normalize out of the key entirely.
+		bare := j
+		bare.FaultModel = ""
+		if j.Key() != bare.Key() {
+			t.Fatal("default fault model changed a pre-existing key")
+		}
+	}
+}
+
+func TestSpecValidatesFaultAxes(t *testing.T) {
+	for _, spec := range []Spec{
+		{Sizes: []int{64}, FaultModels: []string{"banana"}},
+		{Sizes: []int{64}, JoinFracs: []float64{1.5}},
+		{Sizes: []int{64}, LossProbs: []float64{-0.5}},
+		{Sizes: []int{64}, LossProbs: []float64{1.01}},
+	} {
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("spec %+v validated", spec)
+		}
+	}
+}
+
+// TestFaultJobsRunDeterministically executes a small lossy/churny grid
+// twice at different worker counts: summaries must be identical (the
+// E18/E19 worker-invariance property, scaled down for CI).
+func TestFaultJobsRunDeterministically(t *testing.T) {
+	spec := Spec{
+		Name:        "fault-det",
+		Sizes:       []int{96},
+		FaultModels: []string{"crash", "join"},
+		ChurnFracs:  []float64{0.05},
+		JoinFracs:   []float64{0.1},
+		LossProbs:   []float64{0, 0.05},
+		Trials:      2,
+		Seed:        11,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(jobs, Options{Workers: 1, RunWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(jobs, Options{Workers: 4, RunWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRejoin, sawDrop := false, false
+	for i := range a {
+		if a[i].Summary != b[i].Summary {
+			t.Fatalf("job %d summary differs across worker counts:\n%+v\n%+v",
+				i, a[i].Summary, b[i].Summary)
+		}
+		if a[i].Summary.Rejoins > 0 {
+			sawRejoin = true
+		}
+		if a[i].Summary.DroppedMessages > 0 {
+			sawDrop = true
+		}
+	}
+	if !sawRejoin || !sawDrop {
+		t.Fatalf("grid exercised rejoin=%v drop=%v; want both", sawRejoin, sawDrop)
+	}
+}

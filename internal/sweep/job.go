@@ -52,6 +52,18 @@ type Job struct {
 	ChurnCrashes   int    `json:"churn_crashes,omitempty"`
 	ChurnSeed      uint64 `json:"churn_seed,omitempty"`
 	ChurnLastPhase int    `json:"churn_last_phase,omitempty"`
+	// FaultModel selects the mid-run churn regime: "" or "crash" schedules
+	// permanent crash failures (ChurnCrashes nodes, the classic model);
+	// "join" schedules oblivious leave/rejoin churn (JoinFrac·n nodes,
+	// core.JoinChurn, arXiv:2204.11951 regime).
+	FaultModel string `json:"fault_model,omitempty"`
+	// JoinFrac is the fraction of nodes that leave and rejoin under the
+	// "join" fault model (0 = none).
+	JoinFrac float64 `json:"join_frac,omitempty"`
+	// LossProb drops each directed H-edge reception independently with
+	// this probability (core.MessageLoss; 0 = reliable links). Composes
+	// with either churn regime.
+	LossProb float64 `json:"loss_prob,omitempty"`
 	// Trial distinguishes repeated draws of the same grid cell.
 	Trial int `json:"trial"`
 
@@ -82,6 +94,18 @@ func (j Job) Key() string {
 	if j.Placement == "random" {
 		j.Placement = ""
 	}
+	// Normalize the fault-model axes so the hash covers exactly the work
+	// Config executes: each churn regime ignores the other's knob, and a
+	// join model with nothing joining is identical work to no churn.
+	if j.FaultModel == "join" {
+		j.ChurnCrashes = 0
+		if j.JoinFrac == 0 {
+			j.FaultModel = ""
+		}
+	} else {
+		j.FaultModel = ""
+		j.JoinFrac = 0
+	}
 	b, err := json.Marshal(j)
 	if err != nil {
 		// Job is a fixed struct of scalars; Marshal cannot fail.
@@ -95,19 +119,33 @@ func (j Job) Key() string {
 // the per-run simulator parallelism (the scheduler divides the machine
 // between concurrent jobs and within-run parallelism).
 func (j Job) Config(workers int) core.Config {
-	return core.Config{
+	cfg := core.Config{
 		Algorithm:          j.Algorithm,
 		Epsilon:            j.Epsilon,
 		MaxPhase:           j.MaxPhase,
 		Seed:               j.RunSeed,
 		Workers:            workers,
 		InjectionThreshold: j.InjectionThreshold,
-		Churn: core.ChurnConfig{
+	}
+	if j.FaultModel == "join" {
+		if j.JoinFrac > 0 {
+			cfg.Faults = append(cfg.Faults, core.JoinChurn{
+				Count:     int(j.JoinFrac * float64(j.Net.N)),
+				Seed:      j.ChurnSeed,
+				LastPhase: j.ChurnLastPhase,
+			})
+		}
+	} else {
+		cfg.Churn = core.ChurnConfig{
 			Crashes:   j.ChurnCrashes,
 			Seed:      j.ChurnSeed,
 			LastPhase: j.ChurnLastPhase,
-		},
+		}
 	}
+	if j.LossProb > 0 {
+		cfg.Faults = append(cfg.Faults, core.MessageLoss{Prob: j.LossProb})
+	}
+	return cfg
 }
 
 // Label renders a compact human-readable cell descriptor: the axes that
@@ -134,6 +172,12 @@ func (j Job) Label() string {
 	}
 	if j.ChurnCrashes > 0 {
 		fmt.Fprintf(&b, " churn=%d", j.ChurnCrashes)
+	}
+	if j.FaultModel == "join" && j.JoinFrac > 0 {
+		fmt.Fprintf(&b, " join=%g", j.JoinFrac)
+	}
+	if j.LossProb > 0 {
+		fmt.Fprintf(&b, " loss=%g", j.LossProb)
 	}
 	return b.String()
 }

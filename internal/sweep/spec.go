@@ -1,7 +1,8 @@
 // Package sweep is the parallel sweep-orchestration subsystem: it turns a
 // declarative grid of scenarios — sizes, degrees, fault exponents,
-// adversaries, placements, algorithms, ε, churn, trials — into
-// deterministic content-hashed Jobs, executes them across a bounded
+// adversaries, placements, algorithms, ε, churn models (crash or
+// join/rejoin), message loss, trials — into deterministic content-hashed
+// Jobs, executes them across a bounded
 // worker set with an LRU cache of generated networks, persists results
 // to an append-only JSONL store keyed by content hash (so interrupted
 // sweeps resume instead of restarting), and folds the outcomes into
@@ -29,10 +30,10 @@ import (
 // Spec declares a scenario grid. Every slice axis is crossed with every
 // other (a cartesian product); empty axes assume the noted default. The
 // expansion order is fixed — sizes, degrees, deltas, placements,
-// adversaries, algorithms, epsilons, churn fractions, trials innermost —
-// and all seeds derive deterministically from Seed and grid position, so
-// the same Spec always expands to the same Jobs with the same content
-// keys.
+// adversaries, algorithms, epsilons, fault models, churn/join fractions,
+// loss probabilities, trials innermost — and all seeds derive
+// deterministically from Seed and grid position, so the same Spec always
+// expands to the same Jobs with the same content keys.
 type Spec struct {
 	// Name labels the grid (informational).
 	Name string `json:"name,omitempty"`
@@ -55,8 +56,20 @@ type Spec struct {
 	// Epsilons are protocol error parameters; 0 selects the core default
 	// (default {0}).
 	Epsilons []float64 `json:"epsilons,omitempty"`
-	// ChurnFracs are mid-run crash fractions of n (default {0}).
+	// ChurnFracs are mid-run crash fractions of n under the "crash" fault
+	// model (default {0}).
 	ChurnFracs []float64 `json:"churn_fracs,omitempty"`
+	// FaultModels selects the mid-run churn regimes to cross (default
+	// {"crash"}): "crash" crosses ChurnFracs as permanent crash failures;
+	// "join" crosses JoinFracs as oblivious leave/rejoin churn
+	// (core.JoinChurn, the arXiv:2204.11951 regime).
+	FaultModels []string `json:"fault_models,omitempty"`
+	// JoinFracs are leave/rejoin fractions of n under the "join" fault
+	// model (default {0}).
+	JoinFracs []float64 `json:"join_fracs,omitempty"`
+	// LossProbs are per-edge message omission probabilities, crossed with
+	// every churn regime (default {0} = reliable links).
+	LossProbs []float64 `json:"loss_probs,omitempty"`
 	// Trials is the number of independent repetitions per cell
 	// (default 1).
 	Trials int `json:"trials,omitempty"`
@@ -89,6 +102,15 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.ChurnFracs) == 0 {
 		s.ChurnFracs = []float64{0}
+	}
+	if len(s.FaultModels) == 0 {
+		s.FaultModels = []string{"crash"}
+	}
+	if len(s.JoinFracs) == 0 {
+		s.JoinFracs = []float64{0}
+	}
+	if len(s.LossProbs) == 0 {
+		s.LossProbs = []float64{0}
 	}
 	if s.Trials <= 0 {
 		s.Trials = 1
@@ -124,6 +146,43 @@ func (s Spec) Validate() error {
 	for _, f := range s.ChurnFracs {
 		if f < 0 || f >= 1 {
 			return fmt.Errorf("sweep: churn fraction %v outside [0,1)", f)
+		}
+	}
+	hasCrash, hasJoin := false, false
+	for _, name := range s.FaultModels {
+		switch name {
+		case "", "crash":
+			hasCrash = true
+		case "join":
+			hasJoin = true
+		default:
+			return fmt.Errorf("sweep: unknown fault model %q (want crash|join)", name)
+		}
+	}
+	// A fraction axis aimed at a model that is not selected would be
+	// silently ignored — reject the misconfiguration instead.
+	if !hasJoin {
+		for _, f := range s.JoinFracs {
+			if f > 0 {
+				return fmt.Errorf("sweep: join fraction %v set but fault model \"join\" not selected", f)
+			}
+		}
+	}
+	if !hasCrash {
+		for _, f := range s.ChurnFracs {
+			if f > 0 {
+				return fmt.Errorf("sweep: churn fraction %v set but fault model \"crash\" not selected", f)
+			}
+		}
+	}
+	for _, f := range s.JoinFracs {
+		if f < 0 || f >= 1 {
+			return fmt.Errorf("sweep: join fraction %v outside [0,1)", f)
+		}
+	}
+	for _, p := range s.LossProbs {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("sweep: loss probability %v outside [0,1]", p)
 		}
 	}
 	for _, name := range s.Placements {
@@ -176,37 +235,66 @@ func (s Spec) Jobs() ([]Job, error) {
 						for _, algName := range s.Algorithms {
 							alg, _ := ParseAlgorithm(algName)
 							for _, eps := range s.Epsilons {
-								for _, churn := range s.ChurnFracs {
-									for trial := 0; trial < s.Trials; trial++ {
-										base := s.seedFor(group, trial)
-										byzCount := 0
-										if delta > 0 {
-											byzCount = hgraph.ByzantineBudget(n, delta)
-										}
-										jobs = append(jobs, Job{
-											Spec: s.Name,
-											Net: hgraph.Params{
-												N: n, D: d,
-												Seed: s.seedFor(si*64+di, trial),
-											},
-											Delta:              delta,
-											ByzCount:           byzCount,
-											Placement:          placement,
-											PlaceSeed:          base + 0xB12,
-											Adversary:          adv,
-											Algorithm:          alg,
-											Epsilon:            eps,
-											MaxPhase:           s.MaxPhase,
-											InjectionThreshold: s.InjectionThreshold,
-											RunSeed:            base + 0x5EED,
-											ChurnCrashes:       int(churn * float64(n)),
-											ChurnSeed:          base + 0xC8,
-											Trial:              trial,
-											Group:              group,
-											Index:              len(jobs),
-										})
+								zeroEmitted := false
+								for _, fm := range s.FaultModels {
+									// Each churn regime crosses its own
+									// fraction axis: "crash" consumes
+									// ChurnFracs, "join" JoinFracs.
+									fracs := s.ChurnFracs
+									if fm == "join" {
+										fracs = s.JoinFracs
 									}
-									group++
+									for _, frac := range fracs {
+										// A zero fraction means no churn
+										// regardless of model; emit that
+										// baseline cell once, for the
+										// first model whose axis holds it.
+										if frac == 0 {
+											if zeroEmitted {
+												continue
+											}
+											zeroEmitted = true
+										}
+										for _, loss := range s.LossProbs {
+											for trial := 0; trial < s.Trials; trial++ {
+												base := s.seedFor(group, trial)
+												byzCount := 0
+												if delta > 0 {
+													byzCount = hgraph.ByzantineBudget(n, delta)
+												}
+												job := Job{
+													Spec: s.Name,
+													Net: hgraph.Params{
+														N: n, D: d,
+														Seed: s.seedFor(si*64+di, trial),
+													},
+													Delta:              delta,
+													ByzCount:           byzCount,
+													Placement:          placement,
+													PlaceSeed:          base + 0xB12,
+													Adversary:          adv,
+													Algorithm:          alg,
+													Epsilon:            eps,
+													MaxPhase:           s.MaxPhase,
+													InjectionThreshold: s.InjectionThreshold,
+													RunSeed:            base + 0x5EED,
+													ChurnSeed:          base + 0xC8,
+													FaultModel:         fm,
+													LossProb:           loss,
+													Trial:              trial,
+													Group:              group,
+													Index:              len(jobs),
+												}
+												if fm == "join" {
+													job.JoinFrac = frac
+												} else {
+													job.ChurnCrashes = int(frac * float64(n))
+												}
+												jobs = append(jobs, job)
+											}
+											group++
+										}
+									}
 								}
 							}
 						}

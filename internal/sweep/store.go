@@ -28,7 +28,9 @@ type Record struct {
 // so a process killed mid-write costs at most its own partial line:
 // unparseable lines are skipped on load (never anything after them), and
 // an unterminated trailing chunk is sealed with a newline so later
-// appends start on a clean line boundary.
+// appends start on a clean line boundary — recovering the record if the
+// kill landed exactly between it and its newline. FuzzStoreReopen drives
+// this repair path with arbitrary file contents.
 type Store struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -53,12 +55,19 @@ func OpenStore(path string) (*Store, error) {
 	for len(data) > 0 {
 		nl := bytes.IndexByte(data, '\n')
 		if nl < 0 {
-			// Unterminated trailing chunk: a process died mid-append.
-			// Seal it so the next append starts a fresh line; the sealed
-			// fragment fails to parse on future loads and is skipped.
+			// Unterminated trailing chunk: a process died mid-append. Seal
+			// it so the next append starts a fresh line. If the append was
+			// cut exactly between the record and its newline, the chunk is
+			// a complete record — index it now (as any later load of the
+			// sealed line would); a genuinely truncated fragment fails to
+			// parse and is skipped, sealed or not.
 			if _, err := f.Write([]byte{'\n'}); err != nil {
 				f.Close()
 				return nil, fmt.Errorf("sweep: repair store: %w", err)
+			}
+			var rec Record
+			if err := json.Unmarshal(data, &rec); err == nil && rec.Key != "" {
+				s.have[rec.Key] = rec
 			}
 			break
 		}

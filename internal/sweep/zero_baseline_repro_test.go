@@ -1,0 +1,36 @@
+package sweep
+
+import "testing"
+
+// TestSpecZeroBaselineEmittedOnce covers the zero-fraction baseline dedup:
+// exactly one no-churn cell per surrounding grid point, whichever model's
+// fraction axis carries the 0 — including when only a later model's does.
+func TestSpecZeroBaselineEmittedOnce(t *testing.T) {
+	// Zero only on the later (join) axis: the baseline must survive.
+	jobs, err := (Spec{Sizes: []int{64}, FaultModels: []string{"crash", "join"},
+		ChurnFracs: []float64{0.05}, JoinFracs: []float64{0, 0.1}}).Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("expanded %d jobs, want 3 (crash 0.05, join 0, join 0.1)", len(jobs))
+	}
+	zeros := 0
+	for _, j := range jobs {
+		if j.ChurnCrashes == 0 && j.JoinFrac == 0 {
+			zeros++
+		}
+	}
+	if zeros != 1 {
+		t.Fatalf("%d zero-churn baseline cells, want 1", zeros)
+	}
+	// Zero on both axes: the duplicate collapses to one baseline.
+	jobs, err = (Spec{Sizes: []int{64}, FaultModels: []string{"crash", "join"},
+		ChurnFracs: []float64{0, 0.05}, JoinFracs: []float64{0, 0.1}}).Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("expanded %d jobs, want 3 (baseline, crash 0.05, join 0.1)", len(jobs))
+	}
+}
