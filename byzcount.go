@@ -69,6 +69,10 @@ type (
 	// MessageLoss drops each directed reception independently with a
 	// configured probability during the flooding rounds.
 	MessageLoss = core.MessageLoss
+	// FrontierMode selects the round-engine scheduling strategy
+	// (Config.FrontierRounds): the quiescence-aware frontier engine by
+	// default, or the dense reference loop — byte-identical Results.
+	FrontierMode = core.FrontierMode
 	// SweepSpec declares a scenario grid (cartesian products over n, d,
 	// δ, adversary, placement, algorithm, ε, fault model, churn/join
 	// fraction, message loss, trials).
@@ -86,6 +90,17 @@ const (
 	// AlgorithmByzantine is the paper's Algorithm 2 (topology exchange +
 	// chain-attestation verification).
 	AlgorithmByzantine = core.AlgorithmByzantine
+)
+
+// Round-engine selectors (Config.FrontierRounds).
+const (
+	// FrontierAuto resolves to the frontier engine unless the
+	// REPRO_FRONTIER=off environment override is set.
+	FrontierAuto = core.FrontierAuto
+	// FrontierOn forces quiescence-aware frontier scheduling.
+	FrontierOn = core.FrontierOn
+	// FrontierOff forces the dense reference loop.
+	FrontierOff = core.FrontierOff
 )
 
 // DefaultBand is the constant-factor acceptance band used by the

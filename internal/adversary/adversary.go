@@ -244,6 +244,42 @@ func (a *Combo) Send(w *core.World, b, v, t int) int64 { return a.inflate.Send(w
 // Attest implements core.Adversary.
 func (a *Combo) Attest(*core.World, int, int, int64, int) bool { return true }
 
+// FinalRoundInflate injects a huge color only in the final round of each
+// subphase — the Lemma 16 timing attack at its extreme: k_i becomes an
+// unbeatable record for the injectors' H-neighbors, so under Algorithm 1
+// they continue phase after phase (to the MaxPhase cap) while everyone
+// else decides normally and the honest flood quiesces between sweeps.
+// This is the canonical high-phase, low-occupancy workload: the
+// core/run-hiphase benchmark, the frontier occupancy test, and E20's
+// narrative all ride on it. Resolvable via ByName("final-round") but
+// deliberately absent from All(): it is an engine-regime driver, not a
+// Theorem 1 scenario for the headline E7 table.
+type FinalRoundInflate struct{}
+
+// Name implements core.Adversary.
+func (FinalRoundInflate) Name() string { return "final-round" }
+
+// Init implements core.Adversary.
+func (FinalRoundInflate) Init(*core.World) {}
+
+// ClaimHNeighbors implements core.Adversary: truthful topology.
+func (FinalRoundInflate) ClaimHNeighbors(*core.World, int, int) []int32 { return nil }
+
+// SubphaseStart implements core.Adversary.
+func (FinalRoundInflate) SubphaseStart(*core.World) {}
+
+// Send implements core.Adversary: silence until the subphase's final
+// round, then an unbeatable constant.
+func (FinalRoundInflate) Send(w *core.World, b, v, t int) int64 {
+	if t == w.Clock.Phase { // final round of an i-round subphase
+		return InjectBase << 10
+	}
+	return 0
+}
+
+// Attest implements core.Adversary: vouch for everything.
+func (FinalRoundInflate) Attest(*core.World, int, int, int64, int) bool { return true }
+
 // All returns one instance of every strategy, including the honest null
 // strategy, for experiment sweeps.
 func All() []core.Adversary {
@@ -281,6 +317,8 @@ func ByName(name string) (core.Adversary, bool) {
 		return &ChainFaker{}, true
 	case "combo":
 		return &Combo{}, true
+	case "final-round":
+		return FinalRoundInflate{}, true
 	}
 	return nil, false
 }

@@ -1,5 +1,7 @@
 package core
 
+import "math/bits"
+
 // Clock identifies a point in the protocol's global synchronous schedule.
 // The network is synchronous, so i, j and t are common knowledge (§3.1).
 type Clock struct {
@@ -78,11 +80,8 @@ var _ Adversary = HonestAdversary{}
 // messageBits returns the size in bits we charge for flooding a color:
 // the paper's "small message" is a constant number of IDs plus O(log n)
 // payload bits; we charge the variable payload (the color's bit length)
-// plus one 64-bit ID for the sender.
+// plus one 64-bit ID for the sender. Negative colors cannot occur (colors
+// are geometric draws or adversary sends folded through max with 0).
 func messageBits(c int64) int {
-	bits := 0
-	for x := c; x > 0; x >>= 1 {
-		bits++
-	}
-	return 64 + bits
+	return 64 + bits.Len64(uint64(c))
 }

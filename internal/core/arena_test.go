@@ -42,35 +42,38 @@ func TestTopologyReverse(t *testing.T) {
 // engine silently dropped candidates past the first 64; the bounded
 // insert must instead retain the 64 largest seen.
 func TestCandInsertKeepsBest(t *testing.T) {
-	w := NewWorld()
-	var cands [maxCandidates]int64
-	var from [maxCandidates]int32
-	nc := 0
+	var cb candBuf
+	overflows := 0
+	insert := func(c int64, nb int32) {
+		if cb.insert(c, nb) {
+			overflows++
+		}
+	}
 	// Fill with 100..163, then offer worse and better values.
 	for i := 0; i < maxCandidates; i++ {
-		nc = w.candInsert(&cands, &from, nc, int64(100+i), int32(i))
+		insert(int64(100+i), int32(i))
 	}
-	if nc != maxCandidates {
-		t.Fatalf("nc = %d, want %d", nc, maxCandidates)
+	if cb.n != maxCandidates {
+		t.Fatalf("n = %d, want %d", cb.n, maxCandidates)
 	}
-	nc = w.candInsert(&cands, &from, nc, 50, 999) // worse than every kept value
-	nc = w.candInsert(&cands, &from, nc, 500, 1000)
-	nc = w.candInsert(&cands, &from, nc, 400, 1001)
-	if nc != maxCandidates {
-		t.Fatalf("overflow changed nc to %d", nc)
+	insert(50, 999) // worse than every kept value
+	insert(500, 1000)
+	insert(400, 1001)
+	if cb.n != maxCandidates {
+		t.Fatalf("overflow changed n to %d", cb.n)
 	}
-	if w.candOverflows.Load() != 3 {
-		t.Fatalf("candOverflows = %d, want 3", w.candOverflows.Load())
+	if overflows != 3 {
+		t.Fatalf("overflows = %d, want 3", overflows)
 	}
 	var min, max int64 = 1 << 62, 0
 	has := map[int64]int32{}
 	for q := 0; q < maxCandidates; q++ {
-		has[cands[q]] = from[q]
-		if cands[q] < min {
-			min = cands[q]
+		has[cb.vals[q]] = cb.from[q]
+		if cb.vals[q] < min {
+			min = cb.vals[q]
 		}
-		if cands[q] > max {
-			max = cands[q]
+		if cb.vals[q] > max {
+			max = cb.vals[q]
 		}
 	}
 	if _, ok := has[50]; ok {
@@ -94,10 +97,66 @@ func TestCandInsertKeepsBest(t *testing.T) {
 	}
 }
 
+// TestCandBufMatchesReferenceEviction drives the cached-minimum overflow
+// path against the O(maxCandidates)-per-call argmin scan it replaced:
+// identical kept multisets, identical slot placement (ties evict the
+// first minimal index), under an adversarial mix of ascending runs
+// (every overflow replaces), descending runs (every overflow rejects in
+// O(1)), and heavy ties.
+func TestCandBufMatchesReferenceEviction(t *testing.T) {
+	refInsert := func(vals *[maxCandidates]int64, from *[maxCandidates]int32, nc int, c int64, nb int32) int {
+		if nc < maxCandidates {
+			vals[nc], from[nc] = c, nb
+			return nc + 1
+		}
+		mi := 0
+		for q := 1; q < maxCandidates; q++ {
+			if vals[q] < vals[mi] {
+				mi = q
+			}
+		}
+		if c > vals[mi] {
+			vals[mi], from[mi] = c, nb
+		}
+		return nc
+	}
+
+	var seq []int64
+	for i := 0; i < 3*maxCandidates; i++ { // ascending: worst case for the cache
+		seq = append(seq, int64(i+1))
+	}
+	for i := 0; i < 2*maxCandidates; i++ { // descending: best case
+		seq = append(seq, int64(1000-i))
+	}
+	for i := 0; i < 2*maxCandidates; i++ { // ties on the eviction floor
+		seq = append(seq, int64(500+(i%3)))
+	}
+
+	var cb candBuf
+	var refVals [maxCandidates]int64
+	var refFrom [maxCandidates]int32
+	refN := 0
+	for idx, c := range seq {
+		cb.insert(c, int32(idx))
+		refN = refInsert(&refVals, &refFrom, refN, c, int32(idx))
+	}
+	if cb.n != refN {
+		t.Fatalf("n = %d, reference %d", cb.n, refN)
+	}
+	for q := 0; q < maxCandidates; q++ {
+		if cb.vals[q] != refVals[q] || cb.from[q] != refFrom[q] {
+			t.Fatalf("slot %d: got (%d, %d), reference (%d, %d)",
+				q, cb.vals[q], cb.from[q], refVals[q], refFrom[q])
+		}
+	}
+}
+
 // TestHighDegreeCandidateOverflow runs the engine at H-degree 160 — well
-// past the candidate buffer — and checks both that the overflow path
-// actually fired (the regression would be vacuous otherwise) and that the
-// run completes with every node deciding.
+// past the candidate buffer, so the cached-minimum eviction path fires on
+// real traffic — and checks that the overflow path actually fired (the
+// regression would be vacuous otherwise), that the run completes with
+// nodes deciding, and that frontier and dense scheduling agree even when
+// eviction reshapes the candidate set.
 func TestHighDegreeCandidateOverflow(t *testing.T) {
 	if testing.Short() {
 		t.Skip("dense network generation")
@@ -105,7 +164,8 @@ func TestHighDegreeCandidateOverflow(t *testing.T) {
 	net := hgraph.MustNew(hgraph.Params{N: 360, D: 160, Seed: 9})
 	w := NewWorld()
 	defer w.Close()
-	res, err := w.Run(net, nil, nil, Config{Algorithm: AlgorithmBasic, Seed: 10, MaxPhase: 4, Workers: 1})
+	cfg := Config{Algorithm: AlgorithmBasic, Seed: 10, MaxPhase: 4, Workers: 1, FrontierRounds: FrontierOn}
+	res, err := w.Run(net, nil, nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,6 +175,12 @@ func TestHighDegreeCandidateOverflow(t *testing.T) {
 	if res.UndecidedCount+res.CrashedCount == res.HonestCount {
 		t.Fatal("no node decided")
 	}
+	cfg.FrontierRounds = FrontierOff
+	dense, err := w.Run(net, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, dense, res)
 }
 
 // TestWorldCallerOwnedPool checks Config.Pool sharing: the arena must use

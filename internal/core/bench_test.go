@@ -84,6 +84,35 @@ func BenchmarkSubphase(b *testing.B) {
 	}
 }
 
+// BenchmarkSubphaseQuiescent isolates the frontier engine's regime: a
+// 16-round subphase on a freshly Reset arena, where the flood stabilizes
+// within the graph diameter (~4 rounds at n=1024) and the remaining
+// rounds are pure quiescence. The dense loop re-scans every edge of
+// every node in those rounds; the frontier engine skips them.
+func BenchmarkSubphaseQuiescent(b *testing.B) {
+	net := benchNet(1024)
+	byz := benchByz(1024)
+	for _, mode := range []struct {
+		name string
+		fm   FrontierMode
+	}{{"frontier", FrontierOn}, {"dense", FrontierOff}} {
+		b.Run(mode.name, func(b *testing.B) {
+			w := NewWorld()
+			defer w.Close()
+			cfg := Config{Algorithm: AlgorithmByzantine, Seed: 13, Workers: 1, FrontierRounds: mode.fm}
+			if err := w.Reset(net, byz, nil, cfg); err != nil {
+				b.Fatal(err)
+			}
+			w.runSubphase(16, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.runSubphase(16, 1)
+			}
+		})
+	}
+}
+
 // TestRoundLoopZeroAlloc is the acceptance guard for the arena: once a
 // run is set up, executing subphases — color generation, Byzantine send
 // latching, the full stepNode/verify loop, bookkeeping — must not

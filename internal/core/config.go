@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"os"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -29,6 +31,54 @@ func (a Algorithm) String() string {
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
+}
+
+// FrontierMode selects the round-engine scheduling strategy (see
+// frontier.go and DESIGN.md §"Round engine").
+type FrontierMode int
+
+const (
+	// FrontierAuto resolves to the frontier engine unless the
+	// REPRO_FRONTIER=off environment override is set (the CI test matrix
+	// uses the override to run the whole suite against the dense loop).
+	FrontierAuto FrontierMode = iota
+	// FrontierOn forces quiescence-aware frontier scheduling: only nodes
+	// whose inputs may have changed are stepped each round.
+	FrontierOn
+	// FrontierOff forces the dense reference loop: every node is stepped
+	// every round. Byte-identical Results to FrontierOn, forever — the
+	// equivalence suite in frontier_test.go pins it.
+	FrontierOff
+)
+
+// String implements fmt.Stringer.
+func (m FrontierMode) String() string {
+	switch m {
+	case FrontierAuto:
+		return "auto"
+	case FrontierOn:
+		return "on"
+	case FrontierOff:
+		return "off"
+	default:
+		return fmt.Sprintf("FrontierMode(%d)", int(m))
+	}
+}
+
+// frontierEnvDefault resolves FrontierAuto once per process.
+var frontierEnvDefault = sync.OnceValue(func() FrontierMode {
+	if os.Getenv("REPRO_FRONTIER") == "off" {
+		return FrontierOff
+	}
+	return FrontierOn
+})
+
+// enabled reports whether the mode selects frontier scheduling.
+func (m FrontierMode) enabled() bool {
+	if m == FrontierAuto {
+		m = frontierEnvDefault()
+	}
+	return m == FrontierOn
 }
 
 // Config parameterizes a protocol run.
@@ -82,6 +132,16 @@ type Config struct {
 	// Models are scheduled in slice order; nil entries are ignored. Empty
 	// Faults is the paper's static reliable-network regime.
 	Faults []FaultModel
+	// FrontierRounds selects the round-engine scheduling strategy. The
+	// default (FrontierAuto) runs the quiescence-aware frontier engine,
+	// which skips nodes whose inputs cannot have changed; FrontierOff
+	// forces the dense reference loop. Both produce byte-identical
+	// Results — the toggle exists so the equivalence is testable forever.
+	FrontierRounds FrontierMode
+	// RecordFrontierOccupancy, when set, records the fraction of
+	// node-rounds actually stepped in each phase (experiment E20). Under
+	// FrontierOff every phase records 1.
+	RecordFrontierOccupancy bool
 }
 
 // ChurnConfig schedules mid-run crash failures.
@@ -132,6 +192,9 @@ func (c Config) Validate() error {
 	}
 	if c.Churn.Crashes < 0 {
 		return fmt.Errorf("core: negative churn crashes %d", c.Churn.Crashes)
+	}
+	if c.FrontierRounds < FrontierAuto || c.FrontierRounds > FrontierOff {
+		return fmt.Errorf("core: unknown frontier mode %d", int(c.FrontierRounds))
 	}
 	for _, fm := range c.Faults {
 		if fm == nil {

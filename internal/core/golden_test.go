@@ -97,6 +97,12 @@ var goldenCases = []goldenCase{
 }
 
 func runGoldenCase(t testing.TB, net *hgraph.Network, gc goldenCase, workers int) *core.Result {
+	return runGoldenCaseMode(t, net, gc, workers, core.FrontierAuto)
+}
+
+// runGoldenCaseMode is runGoldenCase with an explicit round-engine mode
+// (the frontier equivalence suite replays the grid under FrontierOff).
+func runGoldenCaseMode(t testing.TB, net *hgraph.Network, gc goldenCase, workers int, mode core.FrontierMode) *core.Result {
 	var byz []bool
 	if gc.byzCount > 0 {
 		byz = hgraph.PlaceByzantine(goldenN, gc.byzCount, rng.New(goldenByzSeed))
@@ -106,10 +112,11 @@ func runGoldenCase(t testing.TB, net *hgraph.Network, gc goldenCase, workers int
 		t.Fatalf("unknown adversary %q", gc.adversary)
 	}
 	cfg := core.Config{
-		Algorithm: gc.algorithm,
-		Seed:      goldenRunSeed,
-		Workers:   workers,
-		Churn:     core.ChurnConfig{Crashes: gc.churn, Seed: goldenRunSeed + 1},
+		Algorithm:      gc.algorithm,
+		Seed:           goldenRunSeed,
+		Workers:        workers,
+		Churn:          core.ChurnConfig{Crashes: gc.churn, Seed: goldenRunSeed + 1},
+		FrontierRounds: mode,
 	}
 	if gc.join > 0 {
 		cfg.Faults = append(cfg.Faults, core.JoinChurn{Count: gc.join, Seed: goldenRunSeed + 2})

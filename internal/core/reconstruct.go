@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -30,35 +30,68 @@ type DerivedBall struct {
 	Ambiguous bool
 }
 
+// Deriver is a reusable scratch arena for the Lemma 3 derivation, in the
+// World mold: membership vectors, the intersection slab, and the match
+// buffer survive across calls, so a caller sweeping many nodes of one
+// network (E4 samples hundreds per graph) pays allocation only for the
+// DerivedBall it keeps. A Deriver is not safe for concurrent use.
+type Deriver struct {
+	inBall  []bool
+	idxPlus []int32 // node → 1 + its position in nv; 0 = not a G-neighbor
+	buf     []int32 // slab holding every neighbor's sorted intersection
+	off     []int32 // off[i]:off[i+1] slices buf for G-neighbor i
+	matches []int32
+}
+
+// NewDeriver returns an empty derivation arena.
+func NewDeriver() *Deriver { return &Deriver{} }
+
 // DeriveHFromG runs the Lemma 3 derivation for node v on network (g, k),
 // where g must be the simple small-world graph G built from the hidden H.
 // Only information available to v in the model is consulted: N_G(v) and
 // the N_G lists of v's G-neighbors.
 func DeriveHFromG(g *graph.Graph, v, k int) *DerivedBall {
+	return NewDeriver().DeriveHFromG(g, v, k)
+}
+
+// DeriveHFromG is the arena form of the package-level function: identical
+// output, scratch reused across calls.
+func (d *Deriver) DeriveHFromG(g *graph.Graph, v, k int) *DerivedBall {
+	if n := g.N(); len(d.inBall) < n {
+		d.inBall = make([]bool, n)
+		d.idxPlus = make([]int32, n)
+	}
+
 	// G is simple and loop-free by construction (hgraph.BuildG), so the
 	// CSR adjacency IS the unique neighbor set: use the aliasing accessor
 	// throughout instead of materializing a deduplicated copy per node.
 	nv := g.Neighbors(v)
-	inBall := make(map[int32]bool, len(nv)+1)
-	inBall[int32(v)] = true
+	d.inBall[v] = true
 	for _, u := range nv {
-		inBall[u] = true
+		d.inBall[u] = true
 	}
 
 	// I[u] = N_G[u] ∩ N_G[v] over *closed* neighborhoods (N_G[x] includes
 	// x itself): with open neighborhoods a child's intersection contains
 	// its parent but not vice versa, and the subset rule never fires.
-	// Sorted slices keep this O(deg²) per node instead of O(deg³).
-	intersect := make(map[int32][]int32, len(nv))
-	for _, u := range nv {
-		ix := []int32{u}
+	// Sorted slices keep this O(deg²) per node instead of O(deg³); they
+	// live back to back in the reusable slab, indexed by idxPlus.
+	d.buf = d.buf[:0]
+	d.off = append(d.off[:0], 0)
+	for i, u := range nv {
+		d.idxPlus[u] = int32(i + 1)
+		d.buf = append(d.buf, u)
 		for _, x := range g.Neighbors(int(u)) {
-			if inBall[x] {
-				ix = append(ix, x)
+			if d.inBall[x] {
+				d.buf = append(d.buf, x)
 			}
 		}
-		sort.Slice(ix, func(a, b int) bool { return ix[a] < ix[b] })
-		intersect[u] = ix
+		slices.Sort(d.buf[d.off[i]:])
+		d.off = append(d.off, int32(len(d.buf)))
+	}
+	intersect := func(u int32) []int32 {
+		i := d.idxPlus[u]
+		return d.buf[d.off[i-1]:d.off[i]]
 	}
 
 	isSubset := func(a, b []int32) bool { // a ⊆ b for sorted slices
@@ -74,46 +107,56 @@ func DeriveHFromG(g *graph.Graph, v, k int) *DerivedBall {
 		return true
 	}
 
-	out := &DerivedBall{Parent: make(map[int32]int32, len(nv))}
+	out := &DerivedBall{
+		HNeighbors: make([]int32, 0, len(nv)),
+		Parent:     make(map[int32]int32, len(nv)),
+	}
 	for _, wn := range nv {
-		iw := intersect[wn]
+		iw := intersect(wn)
 		// Every proper ancestor of wn inside the ball satisfies the subset
 		// rule (the intersections shrink down the tree), so wn may match
 		// its parent, grandparent, … The true parent is the match with the
 		// minimal intersection; matches must be totally ordered by ⊆ or
 		// the ball is not tree-like.
-		var matches []int32
+		d.matches = d.matches[:0]
 		for _, u := range g.Neighbors(int(wn)) {
-			if u == wn || !inBall[u] || u == int32(v) {
+			if u == wn || !d.inBall[u] || u == int32(v) {
 				continue
 			}
-			iu := intersect[u]
+			iu := intersect(u)
 			if len(iw) < len(iu) && isSubset(iw, iu) {
-				matches = append(matches, u)
+				d.matches = append(d.matches, u)
 			}
 		}
 		switch {
-		case len(matches) == 0:
+		case len(d.matches) == 0:
 			// No parent among the ball members: wn is a root, i.e. an
 			// H-neighbor of v.
 			out.HNeighbors = append(out.HNeighbors, wn)
 			out.Parent[wn] = int32(v)
 		default:
-			best := matches[0]
-			for _, u := range matches[1:] {
-				if len(intersect[u]) < len(intersect[best]) {
+			best := d.matches[0]
+			for _, u := range d.matches[1:] {
+				if len(intersect(u)) < len(intersect(best)) {
 					best = u
 				}
 			}
-			for _, u := range matches {
-				if u != best && !isSubset(intersect[best], intersect[u]) {
+			for _, u := range d.matches {
+				if u != best && !isSubset(intersect(best), intersect(u)) {
 					out.Ambiguous = true
 				}
 			}
 			out.Parent[wn] = best
 		}
 	}
-	sort.Slice(out.HNeighbors, func(a, b int) bool { return out.HNeighbors[a] < out.HNeighbors[b] })
+	slices.Sort(out.HNeighbors)
+
+	// Rewind the stamped membership state for the next call.
+	d.inBall[v] = false
+	for _, u := range nv {
+		d.inBall[u] = false
+		d.idxPlus[u] = 0
+	}
 	return out
 }
 

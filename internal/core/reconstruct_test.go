@@ -102,6 +102,72 @@ func TestDeriveHFromGSucceedsMoreOftenAsNGrows(t *testing.T) {
 	}
 }
 
+// TestDeriverReuseMatchesFreshCalls sweeps every node of a network
+// through one reused Deriver and through the package-level function,
+// asserting identical output — the arena's stamped membership state must
+// rewind completely between calls.
+func TestDeriverReuseMatchesFreshCalls(t *testing.T) {
+	net, err := hgraph.New(hgraph.Params{N: 400, D: 4, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDeriver()
+	for v := 0; v < 400; v++ {
+		reused := d.DeriveHFromG(net.G, v, net.K)
+		fresh := DeriveHFromG(net.G, v, net.K)
+		if reused.Ambiguous != fresh.Ambiguous {
+			t.Fatalf("node %d: ambiguity %v vs %v", v, reused.Ambiguous, fresh.Ambiguous)
+		}
+		if len(reused.HNeighbors) != len(fresh.HNeighbors) {
+			t.Fatalf("node %d: %d vs %d derived H-neighbors", v, len(reused.HNeighbors), len(fresh.HNeighbors))
+		}
+		for i := range fresh.HNeighbors {
+			if reused.HNeighbors[i] != fresh.HNeighbors[i] {
+				t.Fatalf("node %d: H-neighbors diverge: %v vs %v", v, reused.HNeighbors, fresh.HNeighbors)
+			}
+		}
+		if len(reused.Parent) != len(fresh.Parent) {
+			t.Fatalf("node %d: parent maps differ in size", v)
+		}
+		for c, p := range fresh.Parent {
+			if reused.Parent[c] != p {
+				t.Fatalf("node %d: parent of %d is %d, want %d", v, c, reused.Parent[c], p)
+			}
+		}
+	}
+}
+
+// TestDeriverReuseAllocatesLess pins the point of the arena: a warmed
+// Deriver allocates strictly less per call than the fresh path (which
+// rebuilds the membership vectors and intersection storage every time);
+// only the returned DerivedBall should remain.
+func TestDeriverReuseAllocatesLess(t *testing.T) {
+	net, err := hgraph.New(hgraph.Params{N: 2000, D: 8, Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDeriver()
+	v := 0
+	d.DeriveHFromG(net.G, v, net.K) // warm the slabs
+	reused := testing.AllocsPerRun(50, func() {
+		v = (v + 17) % 2000
+		d.DeriveHFromG(net.G, v, net.K)
+	})
+	v = 0
+	fresh := testing.AllocsPerRun(50, func() {
+		v = (v + 17) % 2000
+		DeriveHFromG(net.G, v, net.K)
+	})
+	if reused >= fresh {
+		t.Fatalf("reused deriver allocates %.1f/call, fresh path %.1f/call — arena buys nothing", reused, fresh)
+	}
+	// The output (struct, parent map, neighbor slice) is all that should
+	// remain on the reused path, give or take map internals.
+	if reused > 10 {
+		t.Fatalf("reused deriver allocates %.1f/call, want only the returned DerivedBall (<= 10)", reused)
+	}
+}
+
 func TestDerivationMatchesRejectsAmbiguity(t *testing.T) {
 	b := graph.NewBuilder(3)
 	b.AddEdge(0, 1)

@@ -43,6 +43,12 @@ type Result struct {
 	// of phase i (only recorded with Config.RecordPhaseActivity).
 	ActivePerPhase []int
 
+	// FrontierOccupancy[i-1] is the fraction of node-rounds the round
+	// engine actually stepped during phase i (only recorded with
+	// Config.RecordFrontierOccupancy; 1.0 under the dense loop). Absent
+	// from the canonical JSON when not recorded, keeping digests stable.
+	FrontierOccupancy []float64 `json:"FrontierOccupancy,omitempty"`
+
 	// InjectionEntryRounds histograms, per subphase that saw one, the round
 	// at which an injected color (>= Config.InjectionThreshold) first
 	// entered the honest population. Lemma 16: all keys are <= k−1.

@@ -72,6 +72,16 @@ func (w *World) runPhase(i int) {
 	for v := 0; v < n; v++ {
 		w.continueFlag[v] = false
 	}
+	if w.Cfg.RecordFrontierOccupancy {
+		w.occStepped, w.occRounds = 0, 0
+		defer func() {
+			frac := 1.0
+			if w.occRounds > 0 {
+				frac = float64(w.occStepped) / (float64(n) * float64(w.occRounds))
+			}
+			w.occPerPhase = append(w.occPerPhase, frac)
+		}()
+	}
 	subphases := w.Sched.Subphases(i)
 	theta := w.Sched.Threshold(i)
 	for j := 1; j <= subphases; j++ {
@@ -100,7 +110,10 @@ func (w *World) runPhase(i int) {
 }
 
 // runSubphase executes one subphase of phase i: color generation followed
-// by exactly i flooding rounds.
+// by exactly i flooding rounds. With the frontier engine enabled, rounds
+// 1 and i sweep every node (all inputs changed at color generation; the
+// final round captures kFinal network-wide) and the rounds between step
+// only the dirty worklist (see frontier.go).
 func (w *World) runSubphase(i, j int) {
 	n := w.N()
 	w.Clock = Clock{Phase: i, Subphase: j, Round: 0}
@@ -118,28 +131,64 @@ func (w *World) runSubphase(i, j int) {
 		w.color[v] = c
 		cur[v] = c
 		w.heldLog[v][0] = c
+		w.logUpTo[v] = 0
 		w.maxEarly[v] = 0
 		w.kFinal[v] = 0
 	}
+	w.fr.resetQuiet()
 	w.adv.SubphaseStart(w)
 
 	verify := w.Cfg.Algorithm == AlgorithmByzantine
+	frontier := w.Cfg.FrontierRounds.enabled()
 	hOff, hAdj := w.topo.hOff, w.topo.hAdj
 	rev := w.topo.rev
 	for t := 1; t <= i; t++ {
 		w.Clock.Round = t
+		full := !frontier || t == 1 || t == i || w.fr.nextFull
+		w.fr.nextFull = false
 		// Latch Byzantine sends for this round (serial, so adversaries
 		// need no internal synchronization for Send). Entry e = (b → nb)
 		// latches into the slot receivers read for it, byzIn[rev[e]];
 		// parallel edges share a slot and the last Send wins, as with
-		// the seed's map.
+		// the seed's map. Send is invoked for every edge in every round
+		// regardless of scheduling — stateful adversaries must see the
+		// identical call sequence — and on frontier rounds a slot that
+		// latches a different value dirties its receiver.
 		for _, b := range w.byzList {
 			for e := hOff[b]; e < hOff[b+1]; e++ {
-				w.byzSends[w.byzIn[rev[e]]] = w.adv.Send(w, int(b), int(hAdj[e]), t)
+				slot := w.byzIn[rev[e]]
+				send := w.adv.Send(w, int(b), int(hAdj[e]), t)
+				if !full && send != w.byzSends[slot] {
+					w.markLatchedSend(hAdj[e])
+				}
+				w.byzSends[slot] = send
 			}
 		}
 		w.stepRound, w.stepPhase, w.stepVerify = t, i, verify
-		w.pool.ForChunks(n, w.stepFn)
+		if full {
+			w.pool.ForChunks(n, w.stepFn)
+		} else {
+			w.pool.ForChunks(len(w.fr.list), w.stepListFn)
+			if w.plan.lossThresh != 0 {
+				w.quietLossPass(t, i)
+			}
+			// Flooding cost of every sleeping node, in one fold.
+			w.counters.AddAggregate(w.fr.quietMsgs, w.fr.quietBits)
+		}
+		w.advanceLogWatermark(t, full)
+		if w.Cfg.RecordFrontierOccupancy {
+			if full {
+				w.occStepped += int64(n)
+			} else {
+				w.occStepped += int64(len(w.fr.list))
+			}
+			w.occRounds++
+		}
+		if frontier && t+1 < i {
+			// Round t+1 needs a worklist only when it is itself a
+			// frontier round (the final round sweeps everything).
+			w.buildFrontier(full)
+		}
 		w.held.Swap()
 		w.counters.CountRound()
 		w.globalRound++
@@ -168,30 +217,51 @@ func (w *World) runSubphase(i, j int) {
 
 // maxCandidates bounds the per-node improvement-candidate buffer. H-degree
 // is the paper's constant d (8–16), so the bound only binds at synthetic
-// high-degree configurations; when it does, candInsert keeps the largest
+// high-degree configurations; when it does, candBuf keeps the largest
 // candidates instead of the first arrivals.
 const maxCandidates = 64
 
-// candInsert records improvement candidate (c, nb) into the bounded
-// buffers. When the buffer is full it evicts the smallest kept candidate
-// if c beats it, so the selection loop always sees the top maxCandidates
-// values received this round.
-func (w *World) candInsert(cands *[maxCandidates]int64, from *[maxCandidates]int32, nc int, c int64, nb int32) int {
-	if nc < maxCandidates {
-		cands[nc], from[nc] = c, nb
-		return nc + 1
-	}
-	w.candOverflows.Add(1)
-	mi := 0
+// candBuf is the bounded per-round improvement-candidate buffer. It lives
+// on stepNode's stack; once full it tracks the index of its smallest kept
+// value, so the common overflow outcome — the offered candidate loses to
+// everything kept — rejects on a single compare instead of the full-buffer
+// scan the previous eviction path paid on every overflow. Only an actual
+// replacement rescans for the new minimum.
+type candBuf struct {
+	vals [maxCandidates]int64
+	from [maxCandidates]int32
+	n    int
+	min  int // index of the smallest kept value; valid once n == maxCandidates
+}
+
+// refreshMin rescans for the smallest kept value, keeping the first index
+// on ties (matching the argmin scan the old eviction used, so eviction
+// order — and therefore every golden digest — is unchanged).
+func (b *candBuf) refreshMin() {
+	b.min = 0
 	for q := 1; q < maxCandidates; q++ {
-		if cands[q] < cands[mi] {
-			mi = q
+		if b.vals[q] < b.vals[b.min] {
+			b.min = q
 		}
 	}
-	if c > cands[mi] {
-		cands[mi], from[mi] = c, nb
+}
+
+// insert records candidate (c, nb), evicting the smallest kept candidate
+// when full and c beats it. Reports whether the buffer overflowed.
+func (b *candBuf) insert(c int64, nb int32) (overflowed bool) {
+	if b.n < maxCandidates {
+		b.vals[b.n], b.from[b.n] = c, nb
+		b.n++
+		if b.n == maxCandidates {
+			b.refreshMin()
+		}
+		return false
 	}
-	return nc
+	if c > b.vals[b.min] {
+		b.vals[b.min], b.from[b.min] = c, nb
+		b.refreshMin()
+	}
+	return true
 }
 
 // stepNode advances node v through round t of an i-round subphase:
@@ -203,6 +273,7 @@ func (w *World) stepNode(v, t, i int, verify bool) {
 
 	if w.crashed[v] {
 		next[v] = 0
+		w.hasCand[v] = false
 		return
 	}
 
@@ -226,6 +297,7 @@ func (w *World) stepNode(v, t, i int, verify bool) {
 		}
 		next[v] = best
 		w.heldLog[v][t] = best
+		w.hasCand[v] = false
 		return
 	}
 
@@ -236,10 +308,8 @@ func (w *World) stepNode(v, t, i int, verify bool) {
 		w.counters.CountMessages(int(end-begin), messageBits(heldv))
 	}
 
-	var kt int64                        // max reception this round (after verification)
-	var candidates [maxCandidates]int64 // improvement candidates awaiting verification
-	var candFrom [maxCandidates]int32   // their senders
-	nc := 0
+	var kt int64 // max reception this round (after verification)
+	var cands candBuf
 	for e := begin; e < end; e++ {
 		nb := hAdj[e]
 		var c int64
@@ -265,11 +335,17 @@ func (w *World) stepNode(v, t, i int, verify bool) {
 			}
 			continue
 		}
-		nc = w.candInsert(&candidates, &candFrom, nc, c, nb)
+		if cands.insert(c, nb) {
+			w.candOverflows.Add(1)
+		}
 	}
+	// Improvement candidates force a re-step next round even when the
+	// held value stays put: failed candidates are re-verified (with
+	// round-dependent outcomes and attestation costs) every round.
+	w.hasCand[v] = cands.n > 0
 
 	newHeld := heldv
-	if nc > 0 {
+	if cands.n > 0 {
 		// Verify improvement candidates best-first; the first that passes
 		// is the verified fresh maximum. Failed candidates are discarded
 		// (Algorithm 2: inconsistent high values are dropped). Selection
@@ -278,16 +354,16 @@ func (w *World) stepNode(v, t, i int, verify bool) {
 		for {
 			best := -1
 			var bc int64
-			for q := 0; q < nc; q++ {
-				if candidates[q] > bc {
-					bc, best = candidates[q], q
+			for q := 0; q < cands.n; q++ {
+				if cands.vals[q] > bc {
+					bc, best = cands.vals[q], q
 				}
 			}
 			if best < 0 {
 				break
 			}
-			candidates[best] = 0 // consumed (candidates are all > heldv >= 0)
-			if verify && !w.verifyColor(v, candFrom[best], bc, t) {
+			cands.vals[best] = 0 // consumed (candidates are all > heldv >= 0)
+			if verify && !w.verifyColor(v, cands.from[best], bc, t) {
 				continue
 			}
 			if bc > kt {
@@ -331,6 +407,9 @@ func (w *World) buildResult() *Result {
 	res.Messages = snap.Messages
 	res.Bits = snap.Bits
 	res.MaxMessageBits = snap.MaxBits
+	if w.Cfg.RecordFrontierOccupancy {
+		res.FrontierOccupancy = append([]float64(nil), w.occPerPhase...)
+	}
 	if w.injectionEntries != nil {
 		res.InjectionEntryRounds = make(map[int]int, len(w.injectionEntries))
 		for t, c := range w.injectionEntries {

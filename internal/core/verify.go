@@ -46,7 +46,7 @@ func (w *World) attest(v int, x int32, c int64, r int) bool {
 	if w.crashed[x] {
 		return false // crashed nodes answer nothing
 	}
-	return w.heldLog[x][r] >= c
+	return w.logAt(x, r) >= c
 }
 
 // attestChain checks x's attestation for round r and, if the budget is not

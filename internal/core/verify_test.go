@@ -35,13 +35,16 @@ func newVerifyFixture(t *testing.T, byzIdx []int, adv Adversary) *verifyFixture 
 }
 
 // holdFrom marks that node x held color c from round r0 onward (monotone
-// held logs, as the engine maintains them).
+// held logs, as the engine maintains them). The watermark is advanced to
+// the full log so attestation reads the populated entries directly
+// instead of clamping to the (unwritten) round 0.
 func (f *verifyFixture) holdFrom(x int, c int64, r0 int) {
 	for r := r0; r < len(f.w.heldLog[x]); r++ {
 		if f.w.heldLog[x][r] < c {
 			f.w.heldLog[x][r] = c
 		}
 	}
+	f.w.logUpTo[x] = int32(len(f.w.heldLog[x]) - 1)
 }
 
 // pathFrom returns some H-path v -> x1 -> x2 starting at a neighbor of v.

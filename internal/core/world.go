@@ -68,11 +68,33 @@ type World struct {
 
 	// Allocation-free round dispatch: runSubphase parks its loop variables
 	// here and hands the pool one persistent closure instead of capturing
-	// a fresh one (which would escape to the heap) every round.
+	// a fresh one (which would escape to the heap) every round. stepFn
+	// walks node ids directly (full sweeps); stepListFn walks the frontier
+	// worklist (see frontier.go).
 	stepFn     func(start, end int)
+	stepListFn func(start, end int)
 	stepRound  int
 	stepPhase  int
 	stepVerify bool
+
+	// fr is the quiescence-aware frontier scheduler's reusable state
+	// (worklists, dirty stamps, the quiet flood-cost aggregate); hasCand[v]
+	// marks nodes that saw improvement candidates this round and so must
+	// be re-stepped next round (verification outcomes and attestation
+	// costs depend on the round index). logUpTo[v] is the last round of
+	// the current subphase whose heldLog entry was actually written —
+	// skipped nodes stop writing their (unchanged) log, and every reader
+	// goes through the clamped logAt accessor instead. See frontier.go.
+	fr      frontier
+	hasCand []bool
+	logUpTo []int32
+
+	// Frontier-occupancy instrumentation (Config.RecordFrontierOccupancy):
+	// node-rounds stepped and rounds executed in the current phase, and
+	// the per-phase fractions accumulated so far.
+	occStepped  int64
+	occRounds   int64
+	occPerPhase []float64
 
 	// Reusable exchange scratch (Algorithm 2 preprocessing).
 	exchBFS  *graph.BFS
@@ -212,6 +234,11 @@ func (w *World) ResetTopology(topo *Topology, byz []bool, adv Adversary, cfg Con
 	w.injectionEntries = nil
 	w.activePerPhase = w.activePerPhase[:0]
 	w.candOverflows.Store(0)
+	w.fr.reset(n)
+	w.hasCand = resetSlice(w.hasCand, n)
+	w.logUpTo = resetSlice(w.logUpTo, n)
+	w.occStepped, w.occRounds = 0, 0
+	w.occPerPhase = w.occPerPhase[:0]
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -236,6 +263,11 @@ func (w *World) ResetTopology(topo *Topology, byz []bool, adv Adversary, cfg Con
 		w.stepFn = func(start, end int) {
 			for v := start; v < end; v++ {
 				w.stepNode(v, w.stepRound, w.stepPhase, w.stepVerify)
+			}
+		}
+		w.stepListFn = func(start, end int) {
+			for idx := start; idx < end; idx++ {
+				w.stepNode(int(w.fr.list[idx]), w.stepRound, w.stepPhase, w.stepVerify)
 			}
 		}
 	}
@@ -319,7 +351,21 @@ func (w *World) HeldLogAt(v, r int) int64 {
 	if r < 0 || r >= len(w.heldLog[v]) {
 		return 0
 	}
-	return w.heldLog[v][r]
+	return w.logAt(int32(v), r)
+}
+
+// logAt reads node x's held log at round r through the frontier's
+// watermark: rounds the scheduler skipped were never written, but a
+// skipped node's held value is by construction unchanged since its last
+// written round, so the clamp reproduces exactly what an eager write
+// would have stored. logUpTo is only advanced serially between rounds,
+// and heldLog entries at or below it are never written again, so this is
+// safe to call from the round's worker goroutines.
+func (w *World) logAt(x int32, r int) int64 {
+	if u := int(w.logUpTo[x]); r > u {
+		r = u
+	}
+	return w.heldLog[x][r]
 }
 
 // OwnColor returns the color v generated this subphase (0 if v is not

@@ -187,10 +187,11 @@ func RunAll(sc Scale) []*Table {
 		E17Composition(sc),
 		E18MessageLoss(sc),
 		E19JoinChurn(sc),
+		E20FrontierOccupancy(sc),
 	}
 }
 
-// ByID returns the experiment function matching the given ID ("E1".."E19"),
+// ByID returns the experiment function matching the given ID ("E1".."E20"),
 // or nil if unknown.
 func ByID(id string) func(Scale) *Table {
 	m := map[string]func(Scale) *Table{
@@ -213,6 +214,7 @@ func ByID(id string) func(Scale) *Table {
 		"E17": E17Composition,
 		"E18": E18MessageLoss,
 		"E19": E19JoinChurn,
+		"E20": E20FrontierOccupancy,
 	}
 	return m[id]
 }

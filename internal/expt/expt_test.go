@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -81,8 +82,30 @@ func TestE12(t *testing.T) {
 	checkTable(t, tb, "E12")
 }
 
+func TestE20(t *testing.T) {
+	tb := E20FrontierOccupancy(Scale{Sizes: []int{512}, Trials: 2, Seed: 17})
+	checkTable(t, tb, "E20")
+	sawClean, sawInflate := false, false
+	for _, row := range tb.Rows {
+		occ := row[3]
+		var f float64
+		if _, err := fmt.Sscanf(occ, "%g", &f); err != nil || f <= 0 || f > 1 {
+			t.Fatalf("occupancy cell %q outside (0,1]", occ)
+		}
+		switch row[1] {
+		case "none":
+			sawClean = true
+		case "inflate":
+			sawInflate = true
+		}
+	}
+	if !sawClean || !sawInflate {
+		t.Fatalf("E20 missing an adversary arm (clean=%v inflate=%v)", sawClean, sawInflate)
+	}
+}
+
 func TestByID(t *testing.T) {
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"} {
 		if ByID(id) == nil {
 			t.Fatalf("ByID(%q) = nil", id)
 		}

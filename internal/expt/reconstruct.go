@@ -29,6 +29,11 @@ func E04Reconstruction(sc Scale) *Table {
 	}
 	const d, samples = 4, 200
 	sizes := []int{20000, 60000, 180000}
+	// One derivation arena across every sampled node: the membership
+	// vectors and intersection slab are reused per call instead of
+	// reallocated (this loop runs the Lemma 3 derivation hundreds of
+	// times per generated network).
+	deriver := core.NewDeriver()
 	for ci, n := range sizes {
 		var succ stats.Online
 		for trial := 0; trial < sc.Trials; trial++ {
@@ -37,7 +42,7 @@ func E04Reconstruction(sc Scale) *Table {
 			matched := 0
 			for s := 0; s < samples; s++ {
 				v := src.Intn(n)
-				ball := core.DeriveHFromG(net.G, v, net.K)
+				ball := deriver.DeriveHFromG(net.G, v, net.K)
 				if core.DerivationMatches(net.H, v, ball) {
 					matched++
 				}

@@ -1,4 +1,4 @@
-// Package expt defines the reproduction experiment suite E1–E19 mapping
+// Package expt defines the reproduction experiment suite E1–E20 mapping
 // every quantitative claim of the paper — plus the fault-model extensions
 // beyond it — to a measurable run (see DESIGN.md §3 for the index). Each experiment produces a Table that cmd/experiments
 // renders into EXPERIMENTS.md and that bench_test.go regenerates under

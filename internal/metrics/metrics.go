@@ -53,6 +53,10 @@ type Summary struct {
 	// model, so pre-fault-model store records stay compatible.
 	Rejoins         int   `json:"rejoins,omitempty"`
 	DroppedMessages int64 `json:"dropped_messages,omitempty"`
+	// FrontierOccupancy is the per-phase fraction of node-rounds the
+	// round engine stepped (experiment E20). Absent unless the run
+	// recorded it, keeping older store records compatible.
+	FrontierOccupancy []float64 `json:"frontier_occupancy,omitempty"`
 	// BitsPerNodeRound normalizes communication: total bits over honest
 	// nodes and rounds.
 	BitsPerNodeRound float64
@@ -73,6 +77,9 @@ func Summarize(r *core.Result, band Band) Summary {
 		MaxMessageBits:  r.MaxMessageBits,
 		Rejoins:         r.Rejoins,
 		DroppedMessages: r.DroppedMessages,
+	}
+	if len(r.FrontierOccupancy) > 0 {
+		s.FrontierOccupancy = append([]float64(nil), r.FrontierOccupancy...)
 	}
 	var ratios []float64
 	for v := 0; v < r.N; v++ {

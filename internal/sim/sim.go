@@ -146,6 +146,17 @@ func (c *Counters) CountMessages(count, bits int) {
 	}
 }
 
+// AddAggregate folds a pre-computed batch of messages and bits into the
+// totals without touching the max-message tracker. It exists for callers
+// that account cost analytically for work they proved equivalent to
+// already-counted messages (the core engine's quiescent-node flooding
+// cost): the batch's largest message is by construction no larger than one
+// already recorded through CountMessage(s).
+func (c *Counters) AddAggregate(messages, bits int64) {
+	c.messages.Add(messages)
+	c.bits.Add(bits)
+}
+
 // CountRound records the completion of one synchronous round.
 func (c *Counters) CountRound() { c.rounds.Add(1) }
 

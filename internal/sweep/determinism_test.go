@@ -86,7 +86,7 @@ func TestSweepSummariesDeterministicAcrossRunWorkerSplit(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a {
-		if a[i].Summary != b[i].Summary {
+		if !reflect.DeepEqual(a[i].Summary, b[i].Summary) {
 			t.Fatalf("job %d: summary differs across worker split", i)
 		}
 	}

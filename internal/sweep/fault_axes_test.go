@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -192,7 +193,7 @@ func TestFaultJobsRunDeterministically(t *testing.T) {
 	}
 	sawRejoin, sawDrop := false, false
 	for i := range a {
-		if a[i].Summary != b[i].Summary {
+		if !reflect.DeepEqual(a[i].Summary, b[i].Summary) {
 			t.Fatalf("job %d summary differs across worker counts:\n%+v\n%+v",
 				i, a[i].Summary, b[i].Summary)
 		}

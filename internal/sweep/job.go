@@ -64,6 +64,10 @@ type Job struct {
 	// this probability (core.MessageLoss; 0 = reliable links). Composes
 	// with either churn regime.
 	LossProb float64 `json:"loss_prob,omitempty"`
+	// RecordOccupancy instruments the run to record per-phase frontier
+	// occupancy (experiment E20). Omitted from the content key when
+	// false, so pre-existing job keys are untouched.
+	RecordOccupancy bool `json:"record_occupancy,omitempty"`
 	// Trial distinguishes repeated draws of the same grid cell.
 	Trial int `json:"trial"`
 
@@ -120,12 +124,13 @@ func (j Job) Key() string {
 // between concurrent jobs and within-run parallelism).
 func (j Job) Config(workers int) core.Config {
 	cfg := core.Config{
-		Algorithm:          j.Algorithm,
-		Epsilon:            j.Epsilon,
-		MaxPhase:           j.MaxPhase,
-		Seed:               j.RunSeed,
-		Workers:            workers,
-		InjectionThreshold: j.InjectionThreshold,
+		Algorithm:               j.Algorithm,
+		Epsilon:                 j.Epsilon,
+		MaxPhase:                j.MaxPhase,
+		Seed:                    j.RunSeed,
+		Workers:                 workers,
+		InjectionThreshold:      j.InjectionThreshold,
+		RecordFrontierOccupancy: j.RecordOccupancy,
 	}
 	if j.FaultModel == "join" {
 		if j.JoinFrac > 0 {

@@ -223,7 +223,8 @@ func TestStoreRoundTripAndResume(t *testing.T) {
 		if o.FromStore {
 			skipped++
 			// The resumed summary must match the original run exactly.
-			if i < len(firstOuts) && o.Summary != firstOuts[i].Summary {
+			// (DeepEqual: Summary grew a slice field with occupancy.)
+			if i < len(firstOuts) && !reflect.DeepEqual(o.Summary, firstOuts[i].Summary) {
 				t.Fatalf("job %d: resumed summary differs from original", i)
 			}
 		}
