@@ -25,6 +25,7 @@ package byzcount
 
 import (
 	"repro/internal/core"
+	"repro/internal/graphio"
 	"repro/internal/hgraph"
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -138,6 +139,16 @@ func NewWorld() *World { return core.NewWorld() }
 // NewTopology precomputes the engine's per-network tables for repeated
 // runs on the same network (World.RunTopology skips recomputing them).
 func NewTopology(net *Network) *Topology { return core.NewTopology(net) }
+
+// NetStore is the persistent content-addressed topology store: generated
+// networks and their engine tables serialized under a versioned binary
+// codec, keyed by canonical Params. The sweep scheduler's network cache
+// uses one as its disk tier (see the REPRO_NETSTORE environment
+// variable, or pregenerate with `netgen -pregen`).
+type NetStore = graphio.NetStore
+
+// OpenNetStore opens (creating if needed) a topology store rooted at dir.
+func OpenNetStore(dir string) (*NetStore, error) { return graphio.OpenNetStore(dir) }
 
 // Summarize computes a run's headline metrics under the given band.
 func Summarize(r *Result, band Band) Summary { return metrics.Summarize(r, band) }

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/core"
+	"repro/internal/graphio"
 	"repro/internal/hgraph"
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -140,9 +141,15 @@ type benchCase struct {
 func cases(quick bool) []benchCase {
 	sizes := []int{512, 1024, 4096, 16384}
 	hiphase := []struct{ n, maxPhase int }{{4096, 28}, {16384, 28}}
+	genSizes := []int{16384, 65536}
+	genRefSizes := []int{16384} // the seed path at 65536 is prohibitively slow
+	loadSizes := []int{16384, 65536}
 	if quick {
 		sizes = []int{512}
 		hiphase = []struct{ n, maxPhase int }{{512, 14}}
+		genSizes = []int{1024}
+		genRefSizes = []int{1024}
+		loadSizes = []int{1024}
 	}
 
 	nets := map[int]*hgraph.Network{}
@@ -227,6 +234,57 @@ func cases(quick bool) []benchCase {
 		}
 	}
 
+	// Topology pipeline: cold generation on the fast path (what a cache
+	// miss without a disk tier costs), the seed reference generator
+	// (same machine, so each entry records the speedup ratio), and a
+	// disk-tier hit (what a warm store turns that miss into).
+	for _, n := range genSizes {
+		n := n
+		cs = append(cs, benchCase{fmt.Sprintf("hgraph/gen/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: 11}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+	for _, n := range genRefSizes {
+		n := n
+		cs = append(cs, benchCase{fmt.Sprintf("hgraph/gen-ref/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hgraph.NewReference(hgraph.Params{N: n, D: 8, Seed: 11}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+	for _, n := range loadSizes {
+		n := n
+		cs = append(cs, benchCase{fmt.Sprintf("graphio/load/n=%d", n), func(b *testing.B) {
+			store, err := graphio.OpenNetStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := hgraph.Params{N: n, D: 8, Seed: 11}
+			net, err := hgraph.New(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := store.Save(net, core.NewTopology(net)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := store.Load(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+
 	// The sweep scheduler's steady state: a warmed network cache, one
 	// arena per worker, grid cells streaming through.
 	sweepN := sizes[0]
@@ -288,6 +346,13 @@ func measureBest(name string, fn func(b *testing.B)) benchResult {
 // configuration measures ~1.4×; 1.1 leaves noise room while still
 // catching any change that erases the frontier engine's win.
 const minSpeedup = 1.1
+
+// minGenSpeedup is the floor on the same-run reference-vs-fast topology
+// generation ratio (hgraph/gen-ref over hgraph/gen at the same n).
+// Measured on a single core: 2.1× at n=16384, 1.7× at the quick n=1024;
+// machines with more cores add the pooled fan-out on top. 1.3 leaves
+// noise room while catching any change that erases the fast path's win.
+const minGenSpeedup = 1.3
 
 // compare re-measures the core/run benchmarks of the baseline's last
 // entry that are available at the current scale and writes a
@@ -369,6 +434,32 @@ func compare(baseline trajectory, cs []benchCase, maxRegress float64, out *strin
 		fmt.Fprintf(out, "\n%-36s dense/frontier = %.2fx (floor %.2fx)\n", c.name, ratio, minSpeedup)
 		if ratio < minSpeedup {
 			failures = append(failures, fmt.Sprintf("%s: frontier speedup %.2fx below %.2fx floor", c.name, ratio, minSpeedup))
+		}
+	}
+
+	// Same-run topology-generation ratio: the fast path vs the in-tree
+	// seed reference, machine-independent like the frontier ratio. The
+	// disk-tier cost is reported alongside (informational: it measures
+	// the page cache as much as the codec).
+	for _, c := range cs {
+		if !strings.HasPrefix(c.name, "hgraph/gen/") {
+			continue
+		}
+		refName := strings.Replace(c.name, "hgraph/gen/", "hgraph/gen-ref/", 1)
+		rc, ok := byName[refName]
+		if !ok {
+			continue
+		}
+		fast := measureBest(c.name, c.fn)
+		ref := measureBest(rc.name, rc.fn)
+		ratio := ref.NsPerOp / fast.NsPerOp
+		fmt.Fprintf(out, "\n%-36s ref/fast = %.2fx (floor %.2fx)\n", c.name, ratio, minGenSpeedup)
+		if ratio < minGenSpeedup {
+			failures = append(failures, fmt.Sprintf("%s: generation speedup %.2fx below %.2fx floor", c.name, ratio, minGenSpeedup))
+		}
+		if lc, ok := byName[strings.Replace(c.name, "hgraph/gen/", "graphio/load/", 1)]; ok {
+			load := measureBest(lc.name, lc.fn)
+			fmt.Fprintf(out, "%-36s gen/load = %.2fx (informational)\n", lc.name, fast.NsPerOp/load.NsPerOp)
 		}
 	}
 

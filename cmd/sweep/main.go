@@ -50,6 +50,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
 		runWorkers = flag.Int("run-workers", 0, "sim workers per job (0 = auto)")
 		cacheCap   = flag.Int("cache", 0, "network cache capacity (0 = default)")
+		netstore   = flag.String("netstore", "", "topology store: a root directory, \"on\" (user cache dir), or \"off\" (default: $REPRO_NETSTORE)")
 		storePath  = flag.String("store", "", "JSONL result store (enables resume)")
 		format     = flag.String("format", "md", "aggregate output format: md | csv")
 		outPath    = flag.String("o", "", "write aggregates to this file (default: stdout)")
@@ -89,10 +90,28 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "spec %q: %d jobs\n", spec.Name, len(jobs))
 
+	// The -netstore flag overrides the REPRO_NETSTORE environment
+	// default with the same vocabulary (on/off/0/1/dir), and is resolved
+	// before any cache exists so an override never opens (or mkdirs) the
+	// environment's store as a side effect. An explicitly requested
+	// store that cannot be opened is an error — silently sweeping
+	// without it would regenerate every topology the user asked to
+	// serve from disk. (The environment path stays best-effort:
+	// EnvNetStore degrades to nil.)
+	var cache *sweep.NetCache
+	if *netstore != "" {
+		ns, err := sweep.ResolveNetStore(*netstore)
+		if err != nil {
+			fatal(err)
+		}
+		cache = sweep.NewNetCacheWithStore(*cacheCap, ns)
+	} else {
+		cache = sweep.NewNetCache(*cacheCap)
+	}
 	opts := sweep.Options{
 		Workers:    *workers,
 		RunWorkers: *runWorkers,
-		Cache:      sweep.NewNetCache(*cacheCap),
+		Cache:      cache,
 	}
 	if *storePath != "" {
 		store, err := sweep.OpenStore(*storePath)
@@ -127,8 +146,13 @@ func main() {
 		}
 	}
 	hits, misses := opts.Cache.Stats()
-	fmt.Fprintf(os.Stderr, "ran %d, resumed %d, %s; network cache %d hits / %d misses\n",
-		ran, skipped, time.Since(start).Round(time.Millisecond), hits, misses)
+	diskHits, diskOn := opts.Cache.DiskStats()
+	disk := ""
+	if diskOn {
+		disk = fmt.Sprintf(" (%d misses served from the topology store)", diskHits)
+	}
+	fmt.Fprintf(os.Stderr, "ran %d, resumed %d, %s; network cache %d hits / %d misses%s\n",
+		ran, skipped, time.Since(start).Round(time.Millisecond), hits, misses, disk)
 
 	groups := sweep.Aggregate(outs)
 	var rendered string

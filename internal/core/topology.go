@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/hgraph"
 )
 
@@ -40,6 +42,57 @@ func NewTopology(net *hgraph.Network) *Topology {
 		hAdj: adj,
 		rev:  buildReverse(off, adj),
 	}
+}
+
+// Rev exposes the reverse-edge index for serialization (the topology
+// store persists it alongside the network so a disk hit skips table
+// construction entirely). The slice aliases internal storage and must be
+// treated as read-only.
+func (t *Topology) Rev() []int32 { return t.rev }
+
+// TopologyFromRev reassembles a Topology from a network and a persisted
+// reverse-edge index, validating that rev is exactly the canonical index
+// buildReverse would produce: every entry in bounds, pointing back into
+// the right row (adj[rev[e]] must be the row's owner), an involution
+// (rev[rev[e]] == e), and parallel-edge runs paired occurrence-by-
+// occurrence starting at the first occurrence — the pairing the engine's
+// Byzantine send-slot latching depends on. Anything else is rejected, so
+// a corrupt or hand-mangled store file can never reach the round loop.
+func TopologyFromRev(net *hgraph.Network, rev []int32) (*Topology, error) {
+	off, adj := net.H.CSR()
+	if len(rev) != len(adj) {
+		return nil, fmt.Errorf("core: rev has %d entries, H adjacency has %d", len(rev), len(adj))
+	}
+	n := len(off) - 1
+	for v := 0; v < n; v++ {
+		occStart := off[v] // first entry of the current parallel-edge run
+		var revStart int32 // rev of that first entry
+		for e := off[v]; e < off[v+1]; e++ {
+			x := adj[e]
+			r := rev[e]
+			if r < 0 || int(r) >= len(adj) {
+				return nil, fmt.Errorf("core: rev[%d] = %d out of range", e, r)
+			}
+			if adj[r] != int32(v) {
+				return nil, fmt.Errorf("core: rev[%d] points at an edge of %d, want %d", e, adj[r], v)
+			}
+			if rev[r] != e {
+				return nil, fmt.Errorf("core: rev not an involution at entry %d", e)
+			}
+			if e == off[v] || adj[e-1] != x {
+				// New run: its reverse must start at x's first occurrence
+				// of v (the entry before r, if any, must not be v).
+				if r > off[x] && adj[r-1] == int32(v) {
+					return nil, fmt.Errorf("core: rev[%d] skips occurrences of %d in row %d", e, v, x)
+				}
+				occStart, revStart = e, r
+			} else if r != revStart+(e-occStart) {
+				// Within a run, occurrences pair off in order.
+				return nil, fmt.Errorf("core: rev[%d] breaks occurrence order in row %d", e, v)
+			}
+		}
+	}
+	return &Topology{Net: net, hOff: off, hAdj: adj, rev: rev}, nil
 }
 
 // buildReverse pairs every directed CSR entry with its reverse entry.

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hgraph"
+)
+
+// TestTopologyFromRevAcceptsCanonical pins that the persisted reverse
+// index round-trips: buildReverse output is accepted and reproduces the
+// exact table.
+func TestTopologyFromRevAcceptsCanonical(t *testing.T) {
+	for _, p := range []hgraph.Params{
+		{N: 16, D: 4, Seed: 3}, // tiny: parallel edges are near-certain
+		{N: 96, D: 8, Seed: 701},
+	} {
+		net := hgraph.MustNew(p)
+		want := NewTopology(net)
+		got, err := TopologyFromRev(net, want.Rev())
+		if err != nil {
+			t.Fatalf("params %+v: canonical rev rejected: %v", p, err)
+		}
+		for e, r := range want.rev {
+			if got.rev[e] != r {
+				t.Fatalf("params %+v: rev differs at %d", p, e)
+			}
+		}
+	}
+}
+
+// TestTopologyFromRevRejectsNonCanonical walks the reject space: length
+// mismatch, out-of-range entries, broken involutions, and — the subtle
+// one — a valid-looking involution that pairs parallel edges in the
+// wrong order, which would silently reorder Byzantine send slots.
+func TestTopologyFromRevRejectsNonCanonical(t *testing.T) {
+	net := hgraph.MustNew(hgraph.Params{N: 64, D: 8, Seed: 7})
+	canon := NewTopology(net).Rev()
+
+	mutate := func(f func(rev []int32)) []int32 {
+		rev := make([]int32, len(canon))
+		copy(rev, canon)
+		f(rev)
+		return rev
+	}
+
+	cases := map[string][]int32{
+		"short":        canon[:len(canon)-1],
+		"out-of-range": mutate(func(rev []int32) { rev[0] = int32(len(rev)) }),
+		"negative":     mutate(func(rev []int32) { rev[3] = -1 }),
+		"not-involution": mutate(func(rev []int32) {
+			// Point two entries of the same row at each other's reverses
+			// without fixing the back-pointers.
+			rev[0], rev[1] = rev[1], rev[0]
+		}),
+	}
+	for name, rev := range cases {
+		if _, err := TopologyFromRev(net, rev); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Swap a parallel-edge pair completely (both directions), producing a
+	// self-consistent involution that is not the canonical occurrence-
+	// ordered pairing. Find a run of parallel edges first.
+	off, adj := net.H.CSR()
+	n := net.H.N()
+	found := false
+	for v := 0; v < n && !found; v++ {
+		for e := off[v]; e+1 < off[v+1]; e++ {
+			if adj[e] == adj[e+1] && adj[e] != int32(v) {
+				rev := mutate(func(rev []int32) {
+					r0, r1 := rev[e], rev[e+1]
+					rev[e], rev[e+1] = r1, r0
+					rev[r0], rev[r1] = e+1, e
+				})
+				if _, err := TopologyFromRev(net, rev); err == nil {
+					t.Error("occurrence-swapped involution accepted")
+				} else if !strings.Contains(err.Error(), "occurrence") {
+					t.Errorf("occurrence swap rejected for the wrong reason: %v", err)
+				}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("instance has no parallel edges; widen the params")
+	}
+}

@@ -35,6 +35,20 @@ func NewBuilder(n int) *Builder {
 	return &Builder{n: n}
 }
 
+// Grow pre-sizes the edge accumulator for at least extra additional edges,
+// so callers that know the edge count up front (generators, format
+// readers) avoid the append-doubling copies of a growing edge list.
+func (b *Builder) Grow(extra int) {
+	if extra <= 0 {
+		return
+	}
+	if free := cap(b.edges) - len(b.edges); free < extra {
+		grown := make([][2]int32, len(b.edges), len(b.edges)+extra)
+		copy(grown, b.edges)
+		b.edges = grown
+	}
+}
+
 // AddEdge records an undirected edge {u, v}. Parallel edges are kept;
 // self-loops are permitted and contribute a single adjacency entry.
 func (b *Builder) AddEdge(u, v int) {
@@ -78,6 +92,58 @@ func (b *Builder) Build() *Graph {
 		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
 	}
 	return g
+}
+
+// FromCSR adopts prebuilt CSR arrays as a Graph after validating every
+// structural invariant Build guarantees: offsets starts at 0, is
+// monotone, and ends at len(adj); every adjacency entry is in range; and
+// each row is sorted ascending (multiplicities allowed). It is the entry
+// point for deserialized graphs — the binary network codec hands it
+// untrusted arrays, so it must reject rather than panic. The slices are
+// adopted, not copied; the caller must not modify them afterwards.
+func FromCSR(offsets, adj []int32) (*Graph, error) {
+	n := len(offsets) - 1
+	if n < 0 {
+		return nil, fmt.Errorf("graph: FromCSR needs len(offsets) >= 1")
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: FromCSR offsets[0] = %d, want 0", offsets[0])
+	}
+	if int(offsets[n]) != len(adj) {
+		return nil, fmt.Errorf("graph: FromCSR offsets end at %d, adj has %d entries", offsets[n], len(adj))
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v+1] < offsets[v] {
+			return nil, fmt.Errorf("graph: FromCSR offsets not monotone at node %d", v)
+		}
+		if int(offsets[v+1]) > len(adj) {
+			// Monotonicity alone admits an intermediate overshoot that
+			// dips back down to len(adj) at the end; slicing it would
+			// panic on untrusted input.
+			return nil, fmt.Errorf("graph: FromCSR offsets overshoot adj at node %d", v)
+		}
+		row := adj[offsets[v]:offsets[v+1]]
+		var prev int32 = -1
+		for _, w := range row {
+			if w < prev {
+				return nil, fmt.Errorf("graph: FromCSR row %d not sorted", v)
+			}
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: FromCSR entry %d in row %d out of range [0,%d)", w, v, n)
+			}
+			prev = w
+		}
+	}
+	return &Graph{n: n, offsets: offsets, adj: adj}, nil
+}
+
+// FromCSRUnchecked adopts CSR arrays the caller guarantees already satisfy
+// Build's invariants (see FromCSR). The network generator's fast path uses
+// it for arrays it constructed row-by-row itself — its output is pinned
+// byte-identical to the reference generator by golden digest tests, so
+// revalidating every edge would only re-pay the generation cost.
+func FromCSRUnchecked(offsets, adj []int32) *Graph {
+	return &Graph{n: len(offsets) - 1, offsets: offsets, adj: adj}
 }
 
 func (g *Graph) adjSlice(v int32) []int32 {

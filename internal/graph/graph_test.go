@@ -417,3 +417,67 @@ func BenchmarkBFS4096(b *testing.B) {
 		scratch.Run(i % 4096)
 	}
 }
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{path(7), cycle(9), complete(5), path(1)} {
+		off, adj := g.CSR()
+		got, err := FromCSR(off, adj)
+		if err != nil {
+			t.Fatalf("FromCSR on Build output: %v", err)
+		}
+		for v := 0; v < g.N(); v++ {
+			nb, gb := g.Neighbors(v), got.Neighbors(v)
+			if len(nb) != len(gb) {
+				t.Fatalf("node %d: degree %d vs %d", v, len(nb), len(gb))
+			}
+			for i := range nb {
+				if nb[i] != gb[i] {
+					t.Fatalf("node %d: rows differ", v)
+				}
+			}
+		}
+	}
+}
+
+func TestFromCSRRejectsInvalid(t *testing.T) {
+	cases := map[string]struct{ off, adj []int32 }{
+		"empty offsets":      {[]int32{}, nil},
+		"nonzero start":      {[]int32{1, 2}, []int32{0, 0}},
+		"non-monotone":       {[]int32{0, 2, 1}, []int32{1, 2, 0}},
+		"length mismatch":    {[]int32{0, 1}, []int32{0, 0}},
+		"offset overshoot":   {[]int32{0, 5, 2}, []int32{0, 0}},
+		"entry out of range": {[]int32{0, 1}, []int32{5}},
+		"unsorted row":       {[]int32{0, 2}, []int32{1, 0}},
+		"negative entry":     {[]int32{0, 1}, []int32{-1}},
+	}
+	for name, c := range cases {
+		if _, err := FromCSR(c.off, c.adj); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestFromCSRAcceptsMultiplicity(t *testing.T) {
+	// Parallel edges and self-loops are legal: 0={1,1}, 1={0,0,1(self)}.
+	off := []int32{0, 2, 5}
+	adj := []int32{1, 1, 0, 0, 1}
+	g, err := FromCSR(off, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeMultiplicity(0, 1) != 2 {
+		t.Errorf("multiplicity(0,1) = %d, want 2", g.EdgeMultiplicity(0, 1))
+	}
+}
+
+func TestBuilderGrow(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.Grow(100)
+	b.AddEdge(1, 2)
+	b.Grow(-5) // no-op
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+}

@@ -76,10 +76,20 @@ func WriteEdgeList(w io.Writer, g *graph.Graph) error {
 }
 
 // ReadEdgeList parses the WriteEdgeList format back into a Graph.
+//
+// The header's edge count is enforced as it is consumed, not after the
+// fact: the builder is pre-sized from it (capped, so a fabricated header
+// cannot balloon memory before any edge arrives), and input with more
+// edges than promised errors at the first excess line instead of
+// buffering an unbounded stream and failing at EOF. Oversized lines are
+// rejected by the scanner's buffer cap (edge lines are tens of bytes).
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("graphio: %w", err)
+		}
 		return nil, fmt.Errorf("graphio: empty input")
 	}
 	header := strings.Fields(sc.Text())
@@ -95,12 +105,19 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		return nil, fmt.Errorf("graphio: bad edge count %q", header[1])
 	}
 	b := graph.NewBuilder(n)
+	// Trust the promised count for preallocation only up to a bound: a
+	// lying header costs at most one modest slab before its lie surfaces.
+	const maxEdgeHint = 1 << 20
+	b.Grow(min(m, maxEdgeHint))
 	line := 1
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
+		}
+		if b.NumEdges() == m {
+			return nil, fmt.Errorf("graphio: line %d: more edges than the %d promised by the header", line, m)
 		}
 		fields := strings.Fields(text)
 		if len(fields) != 2 {
@@ -120,7 +137,7 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		b.AddEdge(u, v)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graphio: %w", err)
 	}
 	if b.NumEdges() != m {
 		return nil, fmt.Errorf("graphio: header promised %d edges, found %d", m, b.NumEdges())

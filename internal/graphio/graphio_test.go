@@ -139,3 +139,13 @@ func TestReadEdgeListSkipsComments(t *testing.T) {
 		t.Fatal("edge lost")
 	}
 }
+
+func TestReadEdgeListRejectsExcessEdgesEarly(t *testing.T) {
+	// The header promises one edge; the second edge line must error
+	// immediately (the count check may not wait for EOF, or a malformed
+	// stream could buffer unboundedly first).
+	in := "3 1\n0 1\n1 2\n2 0\n"
+	if _, err := ReadEdgeList(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "more edges") {
+		t.Fatalf("got %v, want early excess-edge error", err)
+	}
+}

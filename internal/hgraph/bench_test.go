@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 // BenchmarkGenerateH measures the raw expander construction (d/2
@@ -22,7 +23,8 @@ func BenchmarkGenerateH(b *testing.B) {
 
 // BenchmarkNew measures full network generation — H plus the radius-k
 // lattice closure G = H∪L — the dominant fixed cost of a sweep job,
-// which the sweep cache exists to amortize.
+// which the sweep cache exists to amortize. This is the fast path: the
+// sort-free layered-merge lattice closure.
 func BenchmarkNew(b *testing.B) {
 	for _, n := range []int{1024, 4096} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
@@ -31,6 +33,37 @@ func BenchmarkNew(b *testing.B) {
 				if _, err := New(Params{N: n, D: 8, Seed: uint64(i + 1)}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkNewReference measures the seed generator kept as the fast
+// path's oracle — the pair quantifies the fast path's win in isolation.
+func BenchmarkNewReference(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewReference(Params{N: n, D: 8, Seed: uint64(i + 1)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildGPooled measures the lattice closure alone on a worker
+// pool, the configuration netgen -pregen and multi-core sweeps run.
+func BenchmarkBuildGPooled(b *testing.B) {
+	pool := sim.NewPool(0)
+	defer pool.Close()
+	for _, n := range []int{4096} {
+		h := GenerateH(n, 8, rng.New(9))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				BuildGWith(h, DefaultK(8), pool)
 			}
 		})
 	}

@@ -1,0 +1,150 @@
+package hgraph
+
+// golden_test.go pins the generator's output bit-for-bit: SHA-256 network
+// digests captured from the seed generator (the Builder-based lattice
+// closure and map-based ID set, kept in-tree as NewReference) across a
+// (n, d, k, seed) grid. The fast-path generator — direct-to-CSR BuildG,
+// pooled or serial, open-addressed AssignIDs — must reproduce every one
+// of them exactly, for any worker count. A digest change here means the
+// generator's output changed, which silently invalidates every cached
+// topology, golden run digest, and committed experiment table.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+type goldenNetwork struct {
+	p      Params
+	digest string
+}
+
+func (tc goldenNetwork) name() string {
+	return fmt.Sprintf("n=%d,d=%d,k=%d,seed=%d", tc.p.N, tc.p.D, tc.p.K, tc.p.Seed)
+}
+
+// goldenNetworks were captured from the seed generator before the
+// fast-path rewrite (PR 5). Do not regenerate casually: these pin the
+// network model itself. If an intentional output change ever forces a
+// regeneration, bump GenVersion in the same commit so persistent
+// topology stores orphan their now-stale blobs.
+var goldenNetworks = []goldenNetwork{
+	{Params{N: 96, D: 8, K: 0, Seed: 701}, "6ee15a013f91851c7992602cb3cb59f0f2115f7a3394daa698afda6d0e2b7753"},
+	{Params{N: 128, D: 8, K: 2, Seed: 1}, "85940bbc3893ca0a30060d9f1e139ec97f2ca9edc1f9a03f1bc1ec755f692f65"},
+	{Params{N: 200, D: 6, K: 0, Seed: 5}, "d8cde2e07897ddb91c2207a1ebbdbfaf0ab57cb98c0b9d76db8e31db9d6407a9"},
+	{Params{N: 256, D: 10, K: 0, Seed: 7}, "e72b4cd31a855d7b4f80beada13dc5cca4b164fb264eb75ed7979ea7d0083266"},
+	{Params{N: 300, D: 4, K: 1, Seed: 9}, "570d4894e6a782c41027056e434d22b38c20c8d00080db616d977c0b0e9f587c"},
+	{Params{N: 512, D: 8, K: 0, Seed: 11}, "3f78c46b1bd5f5e2cebcb447de6d6716ffdea892cf8a294b32297a2542ff0f53"},
+	{Params{N: 777, D: 12, K: 0, Seed: 13}, "5f6dfc6a07dd0d9508cd5822e715eeaebd6c4b94f3673af3ecb142904789a97a"},
+	{Params{N: 1024, D: 8, K: 0, Seed: 42}, "95b767513cc67f37ffcfbf1cf2618b055ad4923365d2e6793bac747c78f184f5"},
+	{Params{N: 2048, D: 8, K: 4, Seed: 3}, "48530223236b18bf6ca0c0ef5885c804ee18b2062a6ea758c36c967dddca6fb9"},
+}
+
+// TestGoldenNetworkDigests pins the default generator to the seed
+// captures.
+func TestGoldenNetworkDigests(t *testing.T) {
+	for _, tc := range goldenNetworks {
+		tc := tc
+		t.Run(tc.name(), func(t *testing.T) {
+			net := MustNew(tc.p)
+			if got := net.Digest(); got != tc.digest {
+				t.Errorf("digest mismatch:\n got %s\nwant %s\n(generator output changed; see golden_test.go header)", got, tc.digest)
+			}
+		})
+	}
+}
+
+// TestGoldenNetworkDigestsReference pins the in-tree reference generator
+// to the same captures — if this fails, the oracle itself drifted.
+func TestGoldenNetworkDigestsReference(t *testing.T) {
+	for _, tc := range goldenNetworks {
+		tc := tc
+		t.Run(tc.name(), func(t *testing.T) {
+			net, err := NewReference(tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := net.Digest(); got != tc.digest {
+				t.Errorf("reference digest mismatch:\n got %s\nwant %s", got, tc.digest)
+			}
+		})
+	}
+}
+
+// TestGoldenNetworkDigestsWorkerInvariant drives the pooled fast path at
+// several worker counts: chunked parallel row construction must stitch to
+// the identical CSR no matter how the node range is partitioned. The 32-
+// worker case exceeds n/chunkSize for the smaller grid entries, pinning
+// the empty-trailing-chunk path (a pool bigger than the work must not
+// corrupt or crash the stitch).
+func TestGoldenNetworkDigestsWorkerInvariant(t *testing.T) {
+	for _, workers := range []int{2, 3, 8, 32} {
+		pool := sim.NewPool(workers)
+		defer pool.Close()
+		for _, tc := range goldenNetworks {
+			net, err := NewWith(tc.p, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := net.Digest(); got != tc.digest {
+				t.Errorf("%s with %d workers: digest %s, want %s", tc.name(), workers, got, tc.digest)
+			}
+		}
+	}
+}
+
+// TestBuildGRadiusEdgeCases pins the exported BuildG's off-grid radii
+// against the reference closure: k=0 (edgeless) and k=1 (simple(H)) —
+// inputs New never produces but the public API admits.
+func TestBuildGRadiusEdgeCases(t *testing.T) {
+	h := GenerateH(64, 6, rng.New(3))
+	for _, k := range []int{0, 1} {
+		fast := BuildG(h, k)
+		ref := buildGReference(h, k)
+		fastOff, fastAdj := fast.CSR()
+		refOff, refAdj := ref.CSR()
+		if len(fastAdj) != len(refAdj) || len(fastOff) != len(refOff) {
+			t.Fatalf("k=%d: CSR shape differs (fast %d/%d, ref %d/%d)",
+				k, len(fastOff), len(fastAdj), len(refOff), len(refAdj))
+		}
+		for i := range fastAdj {
+			if fastAdj[i] != refAdj[i] {
+				t.Fatalf("k=%d: adjacency differs at %d", k, i)
+			}
+		}
+		for i := range fastOff {
+			if fastOff[i] != refOff[i] {
+				t.Fatalf("k=%d: offsets differ at %d", k, i)
+			}
+		}
+	}
+}
+
+// TestFastPathMatchesReferenceRandomized widens the pinned grid with a
+// randomized sweep of parameters, comparing the fast path against the
+// reference generator structurally (digest equality covers both graphs,
+// K, and the ID draws).
+func TestFastPathMatchesReferenceRandomized(t *testing.T) {
+	pool := sim.NewPool(4)
+	defer pool.Close()
+	for seed := uint64(100); seed < 112; seed++ {
+		n := 64 + int(seed%7)*97
+		d := 4 + 2*int(seed%4)
+		k := int(seed % 3) // 0 = paper default
+		p := Params{N: n, D: d, K: k, Seed: seed}
+		ref, err := NewReference(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := NewWith(p, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Digest() != fast.Digest() {
+			t.Errorf("params %+v: fast path diverges from reference", p)
+		}
+	}
+}

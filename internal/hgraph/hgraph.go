@@ -14,11 +14,18 @@
 package hgraph
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math"
+	"runtime"
+	"slices"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 // Params configures a small-world network instance.
@@ -31,6 +38,14 @@ type Params struct {
 
 // DefaultK returns the paper's lattice radius k = ⌈d/3⌉.
 func DefaultK(d int) int { return (d + 2) / 3 }
+
+// GenVersion identifies the generator's output, not its implementation:
+// two generators with the same GenVersion produce bit-identical networks
+// for equal Params. Bump it in the same commit that regenerates the
+// golden network digests (golden_test.go) after an INTENTIONAL output
+// change — persistent topology stores key on it, so stale blobs from
+// the previous generator are orphaned instead of served.
+const GenVersion = 1
 
 // Canonical returns p with defaults resolved (K = ⌈d/3⌉ when zero), so two
 // Params that generate identical networks compare equal. The sweep
@@ -84,8 +99,409 @@ func GenerateH(n, d int, src *rng.Source) *graph.Graph {
 
 // BuildG materializes G = H ∪ L as a simple graph: u~v in G iff
 // 1 <= dist_H(u,v) <= k. For constant d and k this is a constant-degree
-// graph (bounded by (d-1)^{k+1}, Observation 2).
+// graph (bounded by (d-1)^{k+1}, Observation 2). Serial; see BuildGWith
+// for the pooled variant.
 func BuildG(h *graph.Graph, k int) *graph.Graph {
+	return BuildGWith(h, k, nil)
+}
+
+// BuildGWith is BuildG parallelized over nodes via pool (nil runs
+// serially). The row of v in G is exactly ball_H(v, k) \ {v}, and the
+// fast path never sorts: it grows distance balls level by level, where
+// the level-i ball of v is the dedup-merge of the already-sorted level-
+// (i-1) balls of v's neighbors. H's CSR rows are sorted, so level 1 is a
+// dedup copy, and every later level is a pairwise merge tree over sorted
+// inputs — rows are sorted by construction. (The reference builder spent
+// ~70% of generation in per-row sorts; see buildGReference.)
+//
+// Each level is one chunked parallel pass reading only the previous
+// level's arrays: workers emit finished rows into per-chunk slabs, and
+// since sim.Pool chunks are contiguous disjoint node ranges, a prefix
+// sum over the degree vector lands each slab in the level's CSR with a
+// single copy — no intermediate edge list and no counting sort.
+//
+// The output is byte-identical to the reference builder (same offsets,
+// same sorted rows), pinned by the golden network digest tests.
+func BuildGWith(h *graph.Graph, k int, pool *sim.Pool) *graph.Graph {
+	n := h.N()
+	hOff, hAdj := h.CSR()
+	avgDeg := 0
+	if n > 0 {
+		avgDeg = len(hAdj)/n + 1
+	}
+
+	if k <= 0 {
+		// A radius-0 ball is just {v}: G has no edges (matching the
+		// reference builder; New never passes 0, which canonicalizes to
+		// the paper's default radius).
+		return graph.FromCSRUnchecked(make([]int32, n+1), nil)
+	}
+	if k == 1 {
+		// G = simple(H): rows are the deduped H rows minus the center.
+		off, adj := rowPass(n, pool, avgDeg, func(v int, m *merger, out []int32) []int32 {
+			var prev int32 = -1
+			for _, w := range hAdj[hOff[v]:hOff[v+1]] {
+				if w != prev && w != int32(v) {
+					out = append(out, w)
+				}
+				prev = w
+			}
+			return out
+		})
+		return graph.FromCSRUnchecked(off, adj)
+	}
+
+	// Level 1, center-inclusive: {v} ∪ unique neighbors, still sorted —
+	// v is spliced into its ordered position while deduping the row.
+	prevOff, prevAdj := rowPass(n, pool, avgDeg+1, func(v int, m *merger, out []int32) []int32 {
+		center := int32(v)
+		placed := false
+		var prev int32 = -1
+		for _, w := range hAdj[hOff[v]:hOff[v+1]] {
+			if w == prev {
+				continue
+			}
+			prev = w
+			if !placed && w >= center {
+				out = append(out, center)
+				placed = true
+				if w == center { // self-loop: the center is already emitted
+					continue
+				}
+			}
+			out = append(out, w)
+		}
+		if !placed {
+			out = append(out, center)
+		}
+		return out
+	})
+
+	// Levels 2..k: ball_i(v) = ∪_{w ∈ N(v)} ball_{i-1}(w) (∪ {v}, which
+	// every neighbor's ball already contains at i >= 2 since dist(w,v)=1).
+	// The final level drops the center to become G's adjacency.
+	for i := 2; i <= k; i++ {
+		final := i == k
+		sizeHint := len(prevAdj) / max(n, 1) * (avgDeg - 1)
+		if sizeHint > n {
+			sizeHint = n
+		}
+		drop := func(v int) int32 {
+			if final {
+				return int32(v)
+			}
+			return -1
+		}
+		off, adj := rowPass(n, pool, sizeHint, func(v int, m *merger, out []int32) []int32 {
+			lists := m.lists[:0]
+			var prev int32 = -1
+			for _, w := range hAdj[hOff[v]:hOff[v+1]] {
+				if w != prev && w != int32(v) {
+					lists = append(lists, prevAdj[prevOff[w]:prevOff[w+1]])
+				}
+				prev = w
+			}
+			m.lists = lists
+			if len(lists) == 0 {
+				// All edges were self-loops: the ball is {v} at every
+				// radius, so the center-inclusive row is {v} and the
+				// final row is empty.
+				if !final {
+					out = append(out, int32(v))
+				}
+				return out
+			}
+			return m.union(lists, drop(v), out)
+		})
+		prevOff, prevAdj = off, adj
+	}
+	return graph.FromCSRUnchecked(prevOff, prevAdj)
+}
+
+// merger is per-worker scratch for sorted-list unions: ping-pong slabs
+// (with their row headers) for the pairwise merge rounds, and a reusable
+// gather slice for the caller's input lists.
+type merger struct {
+	buf   [2][]int32
+	hdr   [2][][]int32
+	lists [][]int32
+}
+
+// union appends the sorted deduplicated union of the sorted input lists
+// to out, omitting drop (pass -1 to keep everything). Intermediate merge
+// rounds keep duplicates (overlap between sibling balls is modest and
+// duplicates cost only their own copies); the final merge dedups.
+//
+// Every row a round produces — including an odd leftover, which is
+// copied rather than carried by reference — lives in that round's slab,
+// so each round reads only the previous round's buffer while writing its
+// own and the ping-pong reuse can never clobber a list still in flight.
+// Slabs are pre-sized to the round's exact output, so row headers never
+// dangle across a reallocation.
+func (m *merger) union(lists [][]int32, drop int32, out []int32) []int32 {
+	cur := lists
+	side := 0
+	for len(cur) > 2 {
+		total := 0
+		for _, l := range cur {
+			total += len(l)
+		}
+		slab := m.buf[side]
+		if cap(slab) < total {
+			slab = make([]int32, 0, total)
+		} else {
+			slab = slab[:0]
+		}
+		hdr := m.hdr[side][:0]
+		for i := 0; i < len(cur); i += 2 {
+			base := len(slab)
+			if i+1 < len(cur) {
+				slab = merge2(slab, cur[i], cur[i+1])
+			} else {
+				slab = append(slab, cur[i]...)
+			}
+			hdr = append(hdr, slab[base:len(slab):len(slab)])
+		}
+		m.buf[side] = slab
+		m.hdr[side] = hdr
+		cur = hdr
+		side ^= 1
+	}
+	if len(cur) == 1 {
+		return dedupInto(out, cur[0], drop)
+	}
+	return mergeDedup(out, cur[0], cur[1], drop)
+}
+
+// merge2 appends the sorted merge (duplicates kept) of a and b to dst,
+// whose capacity must already cover the result (union pre-sizes its
+// slabs): extending by reslice and writing through a cursor keeps the
+// hot loop free of append's capacity checks.
+func merge2(dst, a, b []int32) []int32 {
+	o := len(dst)
+	dst = dst[:o+len(a)+len(b)] // extend within the pre-sized capacity
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		av, bv := a[i], b[j]
+		if av <= bv {
+			dst[o] = av
+			i++
+		} else {
+			dst[o] = bv
+			j++
+		}
+		o++
+	}
+	o += copy(dst[o:], a[i:])
+	copy(dst[o:], b[j:])
+	return dst
+}
+
+// mergeDedup appends the sorted deduplicated merge of a and b to dst,
+// omitting drop. Node IDs are non-negative, so -1 is a safe "nothing
+// emitted yet" sentinel.
+func mergeDedup(dst, a, b []int32, drop int32) []int32 {
+	last := int32(-1)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x := a[i]
+		if b[j] < x {
+			x = b[j]
+			j++
+		} else {
+			i++
+		}
+		if x != last && x != drop {
+			dst = append(dst, x)
+			last = x
+		}
+	}
+	rest := a[i:]
+	if j < len(b) {
+		rest = b[j:]
+	}
+	for _, x := range rest {
+		if x != last && x != drop {
+			dst = append(dst, x)
+			last = x
+		}
+	}
+	return dst
+}
+
+// dedupInto appends the deduplicated copy of sorted a to dst, omitting
+// drop.
+func dedupInto(dst, a []int32, drop int32) []int32 {
+	last := int32(-1)
+	for _, x := range a {
+		if x != last && x != drop {
+			dst = append(dst, x)
+			last = x
+		}
+	}
+	return dst
+}
+
+// rowPass builds one CSR level in parallel: emit appends node v's
+// finished sorted row to its slab and returns it. Chunk ranges from
+// sim.Pool are contiguous and disjoint, so each chunk's slab is the
+// exact concatenation of its rows in node order and stitching is one
+// copy per shard after a prefix sum over the degree vector.
+func rowPass(n int, pool *sim.Pool, sizeHint int, emit func(v int, m *merger, out []int32) []int32) (offsets, adj []int32) {
+	if sizeHint < 1 {
+		sizeHint = 1
+	}
+	deg := make([]int32, n)
+	type shard struct {
+		start int
+		rows  []int32
+	}
+	var (
+		mu     sync.Mutex
+		shards []shard
+	)
+	build := func(start, end int) {
+		if start >= end {
+			// Pools larger than n/chunkSize emit trailing chunks whose
+			// clamped range is empty; recording them would index
+			// offsets[start] past the end during stitching.
+			return
+		}
+		m := &merger{}
+		slab := make([]int32, 0, sizeHint*(end-start))
+		for v := start; v < end; v++ {
+			base := len(slab)
+			slab = emit(v, m, slab)
+			deg[v] = int32(len(slab) - base)
+		}
+		mu.Lock()
+		shards = append(shards, shard{start: start, rows: slab})
+		mu.Unlock()
+	}
+	if pool == nil {
+		build(0, n)
+	} else {
+		pool.ForChunks(n, build)
+	}
+
+	offsets = make([]int32, n+1)
+	total := int64(0)
+	for v := 0; v < n; v++ {
+		total += int64(deg[v])
+		if total > math.MaxInt32 {
+			panic(fmt.Sprintf("hgraph: level adjacency exceeds int32 entries at n=%d", n))
+		}
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj = make([]int32, offsets[n])
+	slices.SortFunc(shards, func(a, b shard) int { return a.start - b.start })
+	for _, s := range shards {
+		copy(adj[offsets[s.start]:], s.rows)
+	}
+	return offsets, adj
+}
+
+// AssignIDs draws n distinct 63-bit IDs uniformly at random. The ID space
+// is enormous relative to any n we simulate, matching the paper's
+// assumption that ID length leaks no information about n.
+//
+// Duplicate detection runs on a preallocated open-addressing table (zero
+// is free: IDs are never zero) instead of a growing map[uint64]bool — the
+// same draws are accepted and rejected in the same order, without the
+// map's incremental rehash copies.
+func AssignIDs(n int, src *rng.Source) []uint64 {
+	ids := make([]uint64, n)
+	size := 16
+	for size < 2*n { // load factor <= 0.5 keeps probe chains short
+		size <<= 1
+	}
+	table := make([]uint64, size)
+	mask := uint64(size - 1)
+	for i := 0; i < n; i++ {
+	draw:
+		for {
+			id := src.Uint64() >> 1 // 63-bit
+			if id == 0 {
+				continue
+			}
+			slot := id & mask // IDs are uniform bits: the low bits hash themselves
+			for {
+				switch table[slot] {
+				case 0:
+					table[slot] = id
+					ids[i] = id
+					break draw
+				case id:
+					continue draw // duplicate: redraw, as the map path did
+				}
+				slot = (slot + 1) & mask
+			}
+		}
+	}
+	return ids
+}
+
+// parallelGenThreshold is the node count below which New skips spinning a
+// transient worker pool: at small n the lattice closure runs in
+// microseconds and pool start-up would dominate.
+const parallelGenThreshold = 4096
+
+// New generates a full network instance from params. Large instances
+// parallelize the lattice closure over a transient worker pool; callers
+// generating many networks (the sweep cache, netgen -pregen) can amortize
+// pool start-up across generations with NewWith.
+func New(p Params) (*Network, error) {
+	if p.N >= parallelGenThreshold && runtime.GOMAXPROCS(0) > 1 {
+		pool := sim.NewPool(0)
+		defer pool.Close()
+		return NewWith(p, pool)
+	}
+	return NewWith(p, nil)
+}
+
+// NewWith is New running the lattice closure on the caller's pool (nil
+// runs serially). The pool is borrowed for the duration of the call only;
+// per sim.Pool's contract the caller must not use it concurrently.
+func NewWith(p Params, pool *sim.Pool) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := p.K
+	if k == 0 {
+		k = DefaultK(p.D)
+	}
+	src := rng.Split(p.Seed, 0x48475248) // "HGRH"
+	h := GenerateH(p.N, p.D, src)
+	g := BuildGWith(h, k, pool)
+	ids := AssignIDs(p.N, rng.Split(p.Seed, 0x49445350)) // "IDSP"
+	return &Network{Params: p, H: h, G: g, K: k, IDs: ids}, nil
+}
+
+// NewReference generates a network with the pre-fast-path generator: the
+// Builder-based lattice closure and the map-based ID set, exactly as the
+// seed engine shipped them. It exists as the oracle the fast path is
+// pinned against — the golden digest tests assert NewReference and New
+// agree bit-for-bit across a parameter grid, and cmd/bench measures both
+// so every trajectory entry records the generation speedup on the same
+// machine.
+func NewReference(p Params) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := p.K
+	if k == 0 {
+		k = DefaultK(p.D)
+	}
+	src := rng.Split(p.Seed, 0x48475248) // "HGRH"
+	h := GenerateH(p.N, p.D, src)
+	g := buildGReference(h, k)
+	ids := assignIDsReference(p.N, rng.Split(p.Seed, 0x49445350)) // "IDSP"
+	return &Network{Params: p, H: h, G: g, K: k, IDs: ids}, nil
+}
+
+// buildGReference is the seed lattice closure: per-node balls appended to
+// an edge Builder, finalized by Build's counting sort.
+func buildGReference(h *graph.Graph, k int) *graph.Graph {
 	n := h.N()
 	b := graph.NewBuilder(n)
 	scratch := graph.NewBFS(h)
@@ -100,10 +516,9 @@ func BuildG(h *graph.Graph, k int) *graph.Graph {
 	return b.Build()
 }
 
-// AssignIDs draws n distinct 63-bit IDs uniformly at random. The ID space
-// is enormous relative to any n we simulate, matching the paper's
-// assumption that ID length leaks no information about n.
-func AssignIDs(n int, src *rng.Source) []uint64 {
+// assignIDsReference is the seed ID assignment with its map-based
+// duplicate set.
+func assignIDsReference(n int, src *rng.Source) []uint64 {
 	ids := make([]uint64, n)
 	seen := make(map[uint64]bool, n)
 	for i := 0; i < n; i++ {
@@ -119,20 +534,35 @@ func AssignIDs(n int, src *rng.Source) []uint64 {
 	return ids
 }
 
-// New generates a full network instance from params.
-func New(p Params) (*Network, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+// Digest returns a content fingerprint of the generated instance: a
+// SHA-256 over K, both graphs' CSR arrays, and the ID vector. Two
+// networks with equal digests are structurally identical to the engine
+// (same tables, same IDs), which is what the golden generator-identity
+// tests and the topology store's round-trip tests pin.
+func (net *Network) Digest() string {
+	h := sha256.New()
+	var b [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(b[:], x)
+		h.Write(b[:])
 	}
-	k := p.K
-	if k == 0 {
-		k = DefaultK(p.D)
+	put(uint64(net.K))
+	for _, g := range []*graph.Graph{net.H, net.G} {
+		off, adj := g.CSR()
+		put(uint64(len(off)))
+		for _, v := range off {
+			put(uint64(uint32(v)))
+		}
+		put(uint64(len(adj)))
+		for _, v := range adj {
+			put(uint64(uint32(v)))
+		}
 	}
-	src := rng.Split(p.Seed, 0x48475248) // "HGRH"
-	h := GenerateH(p.N, p.D, src)
-	g := BuildG(h, k)
-	ids := AssignIDs(p.N, rng.Split(p.Seed, 0x49445350)) // "IDSP"
-	return &Network{Params: p, H: h, G: g, K: k, IDs: ids}, nil
+	put(uint64(len(net.IDs)))
+	for _, id := range net.IDs {
+		put(id)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // MustNew is New for tests and examples; it panics on invalid params.

@@ -2,24 +2,33 @@ package sweep
 
 import (
 	"container/list"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/graphio"
 	"repro/internal/hgraph"
+	"repro/internal/sim"
 )
 
 // NetCache is a bounded, concurrency-safe LRU of generated networks keyed
-// by canonical hgraph.Params. Network generation (the d/2 Hamiltonian
+// by canonical hgraph.Params, with an optional persistent disk tier
+// below it (graphio.NetStore). Network generation (the d/2 Hamiltonian
 // cycles plus the radius-k lattice closure) is the dominant fixed cost of
 // a job at experiment scale, so grid cells that share a topology — same
 // (n, d, k, seed), different adversary, ε, algorithm, or churn — should
-// pay it once. Generation is single-flight: concurrent demand for the
-// same Params blocks on one generator instead of duplicating the work.
+// pay it once per process, and with the disk tier once ever. Lookup is
+// single-flight at the memory tier: concurrent demand for the same
+// Params blocks on one loader, so the disk read or regeneration also
+// happens once.
 //
 // Each entry carries the engine's precomputed tables (core.Topology:
 // CSR adjacency plus the reverse-edge index behind the Byzantine
-// send-slot table) alongside the network, so cache-hit jobs skip table
-// construction too.
+// send-slot table) alongside the network — the disk tier persists both,
+// so a disk hit skips table construction too. A corrupt, stale, or
+// version-skewed blob fails validation inside the store, and the cache
+// falls back to regeneration (the subsequent save heals the entry).
 //
 // Cached networks and topologies are shared across jobs and must be
 // treated as immutable; the protocol engine only reads them.
@@ -28,8 +37,18 @@ type NetCache struct {
 	cap    int
 	ll     *list.List // front = most recently used
 	items  map[hgraph.Params]*list.Element
+	store  *graphio.NetStore // nil: memory-only
 	hits   int64
-	misses int64
+	misses int64 // memory-tier misses (disk hits + regenerations)
+	disk   int64 // misses served by the disk tier
+	// genWorkers bounds the sim.Pool a regeneration fans out over
+	// (0: hgraph.New's default, the whole machine). Unless the caller
+	// pinned it with SetGenWorkers (genWorkersPinned), each Run applies
+	// its own per-job worker budget, so concurrent cache misses across
+	// job workers don't each spin a GOMAXPROCS-sized pool — and a cache
+	// shared across Runs follows the current Run's division.
+	genWorkers       int
+	genWorkersPinned bool
 }
 
 type cacheEntry struct {
@@ -46,8 +65,16 @@ type cacheEntry struct {
 const DefaultCacheCap = 64
 
 // NewNetCache creates a cache holding at most capacity networks
-// (capacity <= 0 selects DefaultCacheCap).
+// (capacity <= 0 selects DefaultCacheCap). The disk tier follows the
+// REPRO_NETSTORE environment default (see EnvNetStore); use
+// NewNetCacheWithStore to select it explicitly.
 func NewNetCache(capacity int) *NetCache {
+	return NewNetCacheWithStore(capacity, EnvNetStore())
+}
+
+// NewNetCacheWithStore is NewNetCache with an explicit disk tier
+// (nil: memory-only, regardless of environment).
+func NewNetCacheWithStore(capacity int, store *graphio.NetStore) *NetCache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCap
 	}
@@ -55,7 +82,43 @@ func NewNetCache(capacity int) *NetCache {
 		cap:   capacity,
 		ll:    list.New(),
 		items: make(map[hgraph.Params]*list.Element),
+		store: store,
 	}
+}
+
+// ResolveNetStore opens the topology store a REPRO_NETSTORE-style
+// selector names: "", "off", or "0" is no store (nil, nil); "on" or "1"
+// is the user cache directory (<UserCacheDir>/repro-netstore); any
+// other value is the store root directory. CLI flags share this
+// vocabulary with the environment variable so the README's env examples
+// transliterate to -netstore directly.
+func ResolveNetStore(v string) (*graphio.NetStore, error) {
+	var root string
+	switch v {
+	case "", "off", "0":
+		return nil, nil
+	case "on", "1":
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return nil, err
+		}
+		root = filepath.Join(base, "repro-netstore")
+	default:
+		root = v
+	}
+	return graphio.OpenNetStore(root)
+}
+
+// EnvNetStore resolves the REPRO_NETSTORE environment variable. An
+// unopenable store degrades to nil — the ambient disk tier is an
+// optimization, never a prerequisite (explicit CLI selections should
+// use ResolveNetStore and surface the error instead).
+func EnvNetStore() *graphio.NetStore {
+	store, err := ResolveNetStore(os.Getenv("REPRO_NETSTORE"))
+	if err != nil {
+		return nil
+	}
+	return store
 }
 
 // Get returns the network for p, generating it on first use. Concurrent
@@ -97,12 +160,60 @@ func (c *NetCache) entry(p hgraph.Params) *cacheEntry {
 	}
 	c.mu.Unlock()
 
-	e.net, e.err = hgraph.New(p)
+	// Disk tier first: a valid blob replaces both generation and table
+	// construction. Any load failure — missing, corrupt, stale, version
+	// skew — falls through to regeneration.
+	if c.store != nil {
+		if net, topo, err := c.store.Load(p); err == nil {
+			e.net, e.topo = net, topo
+			c.mu.Lock()
+			c.disk++
+			c.mu.Unlock()
+			close(e.ready)
+			return e
+		}
+	}
+	e.net, e.err = c.generate(p)
 	if e.err == nil {
 		e.topo = core.NewTopology(e.net)
+		if c.store != nil {
+			// Best effort: a failed save costs a regeneration next
+			// process, not this job.
+			_ = c.store.Save(e.net, e.topo)
+		}
 	}
 	close(e.ready)
 	return e
+}
+
+// SetGenWorkers pins the parallelism of cache-miss regenerations
+// (0 pins hgraph.New's machine-wide default). A pinned value survives
+// Run, which otherwise applies its own per-job budget to the cache it
+// uses; pin only for caches whose generation parallelism must not
+// follow the scheduler's division.
+func (c *NetCache) SetGenWorkers(w int) {
+	c.mu.Lock()
+	c.genWorkers = w
+	c.genWorkersPinned = true
+	c.mu.Unlock()
+}
+
+// generate builds the network for p under the configured parallelism
+// bound.
+func (c *NetCache) generate(p hgraph.Params) (*hgraph.Network, error) {
+	c.mu.Lock()
+	w := c.genWorkers
+	c.mu.Unlock()
+	switch {
+	case w <= 0:
+		return hgraph.New(p)
+	case w == 1:
+		return hgraph.NewWith(p, nil)
+	default:
+		pool := sim.NewPool(w)
+		defer pool.Close()
+		return hgraph.NewWith(p, pool)
+	}
 }
 
 // Stats reports cache hits and misses so far.
@@ -110,6 +221,14 @@ func (c *NetCache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// DiskStats reports the disk tier's state: whether a store is attached
+// and how many memory misses it served without regeneration.
+func (c *NetCache) DiskStats() (hits int64, enabled bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disk, c.store != nil
 }
 
 // Len returns the number of cached networks.

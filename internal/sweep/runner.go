@@ -77,6 +77,14 @@ func (o Options) withDefaults() Options {
 	if o.Cache == nil {
 		o.Cache = NewNetCache(0)
 	}
+	// Regenerations on cache misses respect the same machine division as
+	// the runs themselves: RunWorkers of parallelism per job worker, not
+	// a full-machine pool per miss. A pinned SetGenWorkers value wins.
+	o.Cache.mu.Lock()
+	if !o.Cache.genWorkersPinned {
+		o.Cache.genWorkers = o.RunWorkers
+	}
+	o.Cache.mu.Unlock()
 	return o
 }
 
