@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 
@@ -480,8 +481,25 @@ func main() {
 		comparePath = flag.String("compare", "", "compare against this baseline trajectory instead of appending")
 		compareOut  = flag.String("compare-out", "", "also write the comparison table to this file")
 		maxRegress  = flag.Float64("max-regress", 0.15, "ns/op regression threshold for -compare")
+		cpuProfile  = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the benchmark run to this file")
+		memProfile  = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// Profiles turn a BENCH_core.json regression into an artifact to
+	// diagnose instead of a run to reproduce: re-run the offending case
+	// with -cpuprofile and read the flame graph.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopCPUProfile = func() { pprof.StopCPUProfile(); f.Close() }
+	}
+	defer flushProfiles(*memProfile)
 
 	cs := cases(*quick)
 
@@ -543,7 +561,35 @@ func main() {
 	fmt.Fprintf(os.Stderr, "appended entry %q to %s (%d entries)\n", e.Label, *outPath, len(tr.Series))
 }
 
+// stopCPUProfile, when profiling, flushes and closes the CPU profile;
+// fatal runs it so a failed regression gate still leaves the artifact.
+var stopCPUProfile func()
+
+// flushProfiles finalizes the pprof artifacts on the way out.
+func flushProfiles(memPath string) {
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+		stopCPUProfile = nil
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+		}
+	}
+}
+
 func fatal(err error) {
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+		stopCPUProfile = nil
+	}
 	fmt.Fprintln(os.Stderr, "bench:", err)
 	os.Exit(1)
 }

@@ -18,16 +18,29 @@
 //
 // Aggregates are identical for any -workers value: execution order never
 // reaches the fold.
+//
+// Observability: -http :8765 serves a live /status JSON document
+// (progress, ETA, stage-time breakdown, cache hit rates, telemetry
+// snapshot) plus expvar and net/http/pprof while the sweep runs; -store
+// sweeps also write a JSONL run-log of scheduler lifecycle events beside
+// the result store (override with -runlog); -telemetry writes the final
+// registry snapshot as JSON; -cpuprofile/-memprofile capture
+// runtime/pprof artifacts for offline diagnosis.
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -55,8 +68,25 @@ func main() {
 		format     = flag.String("format", "md", "aggregate output format: md | csv")
 		outPath    = flag.String("o", "", "write aggregates to this file (default: stdout)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
+		httpAddr   = flag.String("http", "", "serve live /status, expvar, and pprof on this address (e.g. :8765)")
+		runlogPath = flag.String("runlog", "", "JSONL run-log path (default: <store>.runlog beside -store; \"off\" disables)")
+		telePath   = flag.String("telemetry", "", "write the final telemetry snapshot (JSON) to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopCPUProfile = func() { pprof.StopCPUProfile(); f.Close() }
+	}
+	defer flushProfiles(*memProfile)
 
 	var spec sweep.Spec
 	if *specPath != "" {
@@ -84,10 +114,12 @@ func main() {
 		}
 	}
 
+	expandStart := time.Now()
 	jobs, err := spec.Jobs()
 	if err != nil {
 		fatal(err)
 	}
+	expand := time.Since(expandStart)
 	fmt.Fprintf(os.Stderr, "spec %q: %d jobs\n", spec.Name, len(jobs))
 
 	// The -netstore flag overrides the REPRO_NETSTORE environment
@@ -122,14 +154,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "store %s: %d results on disk\n", *storePath, store.Len())
 		opts.Store = store
 	}
-	if !*quiet {
-		opts.Progress = func(done, total int, out sweep.Outcome) {
+
+	// The run-log lives beside the result store by default: a resumed
+	// sweep appends to both, so the store's results and the log of how
+	// they were produced travel together.
+	logPath := *runlogPath
+	if logPath == "" && *storePath != "" {
+		logPath = *storePath + ".runlog"
+	}
+	if logPath != "" && logPath != "off" {
+		runlog, err := obs.OpenRunLog(logPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer runlog.Close()
+		fmt.Fprintf(os.Stderr, "run-log %s\n", logPath)
+		opts.RunLog = runlog
+	}
+
+	// Live observability: the monitor folds every completed outcome; the
+	// -http endpoint renders its Status (plus expvar and pprof) while
+	// workers are mid-grid.
+	mon := sweep.NewMonitor(spec.Name, len(jobs), opts.Cache, nil)
+	mon.SetExpand(expand)
+	opts.Progress = func(done, total int, out sweep.Outcome) {
+		mon.Observe(done, total, out)
+		if !*quiet {
 			state := "ran"
 			if out.FromStore {
 				state = "skip"
 			}
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s\n", done, total, state, out.Job.Label())
 		}
+	}
+	if *httpAddr != "" {
+		// /debug/vars carries the registry too, for expvar-speaking
+		// scrapers; /status embeds the same snapshot with progress.
+		expvar.Publish("obs", obs.Default.ExpvarFunc())
+		srv, err := obs.Serve(*httpAddr, obs.Handler(nil, func() any { return mon.Status() }))
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry http://%s/status (expvar: /debug/vars, pprof: /debug/pprof/)\n", srv.Addr())
 	}
 
 	start := time.Now()
@@ -153,6 +220,19 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "ran %d, resumed %d, %s; network cache %d hits / %d misses%s\n",
 		ran, skipped, time.Since(start).Round(time.Millisecond), hits, misses, disk)
+	if ran > 0 {
+		fmt.Fprint(os.Stderr, mon.Breakdown())
+	}
+	if *telePath != "" {
+		snap, err := json.MarshalIndent(mon.Status(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*telePath, append(snap, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote telemetry snapshot %s\n", *telePath)
+	}
 
 	groups := sweep.Aggregate(outs)
 	var rendered string
@@ -174,7 +254,35 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wrote %s (%d cells)\n", *outPath, len(groups))
 }
 
+// stopCPUProfile, when profiling, flushes and closes the CPU profile;
+// fatal runs it so an error exit still leaves a readable artifact.
+var stopCPUProfile func()
+
+// flushProfiles finalizes the pprof artifacts on the way out.
+func flushProfiles(memPath string) {
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+		stopCPUProfile = nil
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}
+
 func fatal(err error) {
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+		stopCPUProfile = nil
+	}
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }

@@ -1,0 +1,179 @@
+// Package obs is the unified telemetry subsystem: a registry of atomic
+// counters and timers with a zero-allocation hot path, a structured JSONL
+// run-log for scheduler lifecycle events, and an HTTP handler exposing a
+// live /status document alongside expvar and pprof. It is strictly
+// observational — nothing in this package influences protocol execution,
+// job content keys, or stored results — and deliberately depends on
+// nothing above the standard library, so every layer of the stack
+// (engine, caches, scheduler, commands) can report into it without
+// import cycles.
+//
+// Usage pattern: a subsystem resolves its counters once, by name, at
+// construction time (the only allocating step), then increments the
+// returned pointers on its hot path:
+//
+//	hits := obs.Default.Counter("sweep.cache.mem_hits")
+//	...
+//	hits.Inc() // atomic add, zero allocations
+//
+// Snapshot() freezes the whole registry into a plain JSON-marshalable
+// value for /status, expvar, or end-of-run artifacts.
+package obs
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically-growing atomic event count. The zero value
+// is ready to use; all methods are safe for concurrent use and allocate
+// nothing.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add folds n events in (negative n is permitted for callers that
+// account corrections, but counters are conventionally monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Timer accumulates durations: total nanoseconds and observation count.
+// The zero value is ready to use; Observe is atomic and allocation-free.
+type Timer struct {
+	ns    atomic.Int64
+	count atomic.Int64
+}
+
+// Observe folds one measured duration in.
+func (t *Timer) Observe(d time.Duration) {
+	t.ns.Add(int64(d))
+	t.count.Add(1)
+}
+
+// ObserveSince is Observe(time.Since(start)).
+func (t *Timer) ObserveSince(start time.Time) { t.Observe(time.Since(start)) }
+
+// Count returns how many durations were observed.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.ns.Load()) }
+
+// TimerStat is a Timer frozen for serialization.
+type TimerStat struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON: flat
+// name→value maps, sorted implicitly by encoding/json's key ordering.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Timers   map[string]TimerStat `json:"timers,omitempty"`
+}
+
+// Registry is a named collection of counters and timers. Resolving a
+// name allocates (once per name); using the returned pointer does not.
+// The zero value is not usable — create with NewRegistry, or use the
+// process-wide Default.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+}
+
+// Default is the process-wide registry commands and subsystems report
+// into unless explicitly rebound (tests bind private registries to
+// isolate their assertions from the rest of the process).
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. The returned pointer is stable for the registry's lifetime:
+// resolve once, increment forever.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns the timer registered under name, creating it on first
+// use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Names returns the registered counter names, sorted. Mostly for tests
+// and rendering.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot freezes every counter and timer into a plain value. Counters
+// that never moved are included (a zero is information: the subsystem
+// was wired but idle); the maps are nil only for an empty registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Load()
+		}
+	}
+	if len(r.timers) > 0 {
+		s.Timers = make(map[string]TimerStat, len(r.timers))
+		for name, t := range r.timers {
+			st := TimerStat{Count: t.Count(), TotalMS: float64(t.Total().Nanoseconds()) / 1e6}
+			if st.Count > 0 {
+				st.MeanMS = st.TotalMS / float64(st.Count)
+			}
+			s.Timers[name] = st
+		}
+	}
+	return s
+}
+
+// ExpvarFunc adapts the registry for expvar.Publish: the published
+// variable renders the live snapshot on every /debug/vars scrape.
+// (Publishing is left to the caller because expvar panics on duplicate
+// names — a process decides once where its registry appears.)
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return expvar.Func(func() any { return r.Snapshot() })
+}

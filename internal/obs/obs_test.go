@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndTimer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.hits")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.hits") != c {
+		t.Fatal("re-resolving a name must return the same counter")
+	}
+
+	tm := r.Timer("a.gen")
+	tm.Observe(10 * time.Millisecond)
+	tm.ObserveSince(time.Now().Add(-20 * time.Millisecond))
+	if tm.Count() != 2 {
+		t.Fatalf("timer count = %d, want 2", tm.Count())
+	}
+	if tm.Total() < 30*time.Millisecond {
+		t.Fatalf("timer total = %v, want >= 30ms", tm.Total())
+	}
+
+	s := r.Snapshot()
+	if s.Counters["a.hits"] != 5 {
+		t.Fatalf("snapshot counter = %d, want 5", s.Counters["a.hits"])
+	}
+	ts := s.Timers["a.gen"]
+	if ts.Count != 2 || ts.TotalMS < 30 || ts.MeanMS < 15 {
+		t.Fatalf("snapshot timer = %+v", ts)
+	}
+	// Snapshot must marshal cleanly — it is the /status and artifact shape.
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryConcurrentResolve(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Timer("shared.t").Observe(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Timer("shared.t").Count(); got != 8000 {
+		t.Fatalf("timer count = %d, want 8000", got)
+	}
+}
+
+// TestHotPathZeroAlloc pins the telemetry contract the engine constraints
+// depend on: once a counter or timer is resolved, recording into it
+// allocates nothing.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	tm := r.Timer("hot.t")
+	start := time.Now()
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		tm.Observe(time.Microsecond)
+		tm.ObserveSince(start)
+	}); allocs != 0 {
+		t.Fatalf("hot-path telemetry allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkTimerObserve(b *testing.B) {
+	tm := NewRegistry().Timer("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Observe(time.Microsecond)
+	}
+}
+
+func TestRunLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewRunLog(&buf)
+	l.now = func() time.Time { return time.UnixMilli(1500) }
+	if err := l.Event("sweep_start", map[string]any{"jobs": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Event("job_done", map[string]any{"key": "k1", "tier": "gen"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn trailing write and a corrupt line must not hide good lines.
+	buf.WriteString("{garbage\n")
+	buf.WriteString(`{"ts_ms":2000,"event":"sweep_end"}`) // no trailing newline
+
+	events, err := ReadRunLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("read %d events, want 3: %+v", len(events), events)
+	}
+	if events[0].Event != "sweep_start" || events[0].TimeMS != 1500 {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[1].Fields["tier"] != "gen" {
+		t.Fatalf("event 1 fields = %+v", events[1].Fields)
+	}
+	if events[2].Event != "sweep_end" {
+		t.Fatalf("event 2 = %+v", events[2])
+	}
+}
+
+func TestRunLogNilSafe(t *testing.T) {
+	var l *RunLog
+	if err := l.Event("anything", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRunLogAppends(t *testing.T) {
+	path := t.TempDir() + "/run.jsonl"
+	for i := 0; i < 2; i++ {
+		l, err := OpenRunLog(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Event("sweep_start", nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := ReadRunLog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("reopened log has %d events, want 2 (append semantics)", len(events))
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Add(7)
+	status := func() any {
+		return map[string]any{"done": 1, "total": 2, "telemetry": reg.Snapshot()}
+	}
+	srv, err := Serve("127.0.0.1:0", Handler(reg, status))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status = %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/status is not JSON: %v\n%s", err, body)
+	}
+	if doc["done"] != float64(1) {
+		t.Fatalf("/status done = %v", doc["done"])
+	}
+
+	if code, body = get("/debug/vars"); code != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Fatalf("/debug/vars = %d: %q", code, body)
+	}
+	if code, body = get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	if code, _ = get("/nope"); code != http.StatusNotFound {
+		t.Fatalf("/nope = %d, want 404", code)
+	}
+}

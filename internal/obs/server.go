@@ -1,0 +1,86 @@
+package obs
+
+// server.go exposes a running process over HTTP: a live /status JSON
+// document (whatever the caller's status function returns — cmd/sweep
+// serves progress, ETA, stage breakdown, and cache hit rates), expvar at
+// /debug/vars, and the full net/http/pprof suite at /debug/pprof/. This
+// is the embryo of the sweepd worker heartbeat (ROADMAP item 1): a
+// coordinator polling /status gets exactly the progress surface it needs.
+//
+// Handlers are registered on a private mux — importing net/http/pprof
+// for its side effect on http.DefaultServeMux would leak profiling
+// endpoints into any other server the process starts, so the handlers
+// are mounted explicitly.
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler builds the telemetry mux. status is invoked per request and
+// its result rendered as JSON; nil serves the registry snapshot alone.
+// reg backs /status's "telemetry" omission — it is the caller's choice
+// whether status already embeds a snapshot — and /debug/vars serves the
+// process-global expvar state as usual.
+func Handler(reg *Registry, status func() any) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	if status == nil {
+		status = func() any { return reg.Snapshot() }
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "endpoints: /status /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+// Server is a started telemetry listener.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve binds addr (":0" picks a free port) and serves h in the
+// background. It returns after the listener is live, so a caller that
+// starts a sweep next can rely on /status being reachable for the
+// sweep's whole lifetime.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln) //nolint:errcheck — ErrServerClosed on Close is the expected exit
+	return &Server{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener. In-flight requests are abandoned — the
+// process is exiting anyway; the endpoint's value was while it ran.
+func (s *Server) Close() error { return s.srv.Close() }

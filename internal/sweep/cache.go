@@ -2,13 +2,16 @@ package sweep
 
 import (
 	"container/list"
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graphio"
 	"repro/internal/hgraph"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -49,6 +52,36 @@ type NetCache struct {
 	// shared across Runs follows the current Run's division.
 	genWorkers       int
 	genWorkersPinned bool
+	tele             cacheTelemetry
+}
+
+// cacheTelemetry holds the cache's obs registry bindings, resolved once
+// at construction (or SetTelemetry) so the lookup path only touches
+// atomic counters. The named counters mirror the Stats/DiskStats
+// accessors — TestCacheTelemetryConsistency pins the two surfaces equal.
+type cacheTelemetry struct {
+	memHits   *obs.Counter // "sweep.cache.mem_hits"
+	memMisses *obs.Counter // "sweep.cache.mem_misses"
+	diskHits  *obs.Counter // "sweep.cache.disk_hits"
+	coalesced *obs.Counter // "sweep.cache.coalesced": lookups that blocked on another caller's in-flight load
+	diskHeals *obs.Counter // "sweep.cache.disk_heals": corrupt/stale blobs regenerated over
+	gen       *obs.Timer   // "hgraph.gen": topology generations (count + time)
+	diskLoad  *obs.Timer   // "sweep.cache.disk_load": disk-tier loads (count + time)
+}
+
+func newCacheTelemetry(reg *obs.Registry) cacheTelemetry {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return cacheTelemetry{
+		memHits:   reg.Counter("sweep.cache.mem_hits"),
+		memMisses: reg.Counter("sweep.cache.mem_misses"),
+		diskHits:  reg.Counter("sweep.cache.disk_hits"),
+		coalesced: reg.Counter("sweep.cache.coalesced"),
+		diskHeals: reg.Counter("sweep.cache.disk_heals"),
+		gen:       reg.Timer("hgraph.gen"),
+		diskLoad:  reg.Timer("sweep.cache.disk_load"),
+	}
 }
 
 type cacheEntry struct {
@@ -57,6 +90,35 @@ type cacheEntry struct {
 	net   *hgraph.Network
 	topo  *core.Topology
 	err   error
+	// Telemetry for the load that filled the entry, set before ready is
+	// closed: which tier satisfied it and what the creator paid.
+	tier     string // TierDisk or TierGen
+	genTime  time.Duration
+	loadTime time.Duration
+}
+
+// Cache tiers as recorded in TierInfo, Outcome.CacheTier, and the
+// run-log: an already-resident entry, a disk-store load, a fresh
+// generation.
+const (
+	TierMem  = "mem"
+	TierDisk = "disk"
+	TierGen  = "gen"
+)
+
+// TierInfo describes how one lookup was satisfied.
+type TierInfo struct {
+	// Tier is TierMem for an entry that was already resident (including
+	// lookups coalesced onto another caller's in-flight load), else the
+	// tier the entry was filled from.
+	Tier string
+	// Creator marks the lookup that actually performed the disk load or
+	// generation; coalesced waiters share the result but not the cost,
+	// so per-stage totals never double count.
+	Creator bool
+	// Generate and DiskLoad are the creator's costs (zero otherwise).
+	Generate time.Duration
+	DiskLoad time.Duration
 }
 
 // DefaultCacheCap bounds the cache when the caller does not: a full-scale
@@ -83,7 +145,17 @@ func NewNetCacheWithStore(capacity int, store *graphio.NetStore) *NetCache {
 		ll:    list.New(),
 		items: make(map[hgraph.Params]*list.Element),
 		store: store,
+		tele:  newCacheTelemetry(nil),
 	}
+}
+
+// SetTelemetry rebinds the cache's obs counters to reg (nil restores the
+// process default registry). Call before the cache serves lookups —
+// counts recorded under the previous binding stay there.
+func (c *NetCache) SetTelemetry(reg *obs.Registry) {
+	c.mu.Lock()
+	c.tele = newCacheTelemetry(reg)
+	c.mu.Unlock()
 }
 
 // ResolveNetStore opens the topology store a REPRO_NETSTORE-style
@@ -124,7 +196,7 @@ func EnvNetStore() *graphio.NetStore {
 // Get returns the network for p, generating it on first use. Concurrent
 // callers with equal canonical Params share one generation.
 func (c *NetCache) Get(p hgraph.Params) (*hgraph.Network, error) {
-	e := c.entry(p)
+	e, _ := c.entry(p)
 	return e.net, e.err
 }
 
@@ -134,24 +206,47 @@ func (c *NetCache) Get(p hgraph.Params) (*hgraph.Network, error) {
 // topology is CSR-indexed exactly once no matter how many grid cells run
 // on it.
 func (c *NetCache) GetTopology(p hgraph.Params) (*core.Topology, error) {
-	e := c.entry(p)
+	e, _ := c.entry(p)
 	return e.topo, e.err
 }
 
-// entry returns the ready cache entry for p, generating it on first use.
-func (c *NetCache) entry(p hgraph.Params) *cacheEntry {
+// GetTopologyInfo is GetTopology plus how the lookup was satisfied —
+// the sweep runner's stage-timing source.
+func (c *NetCache) GetTopologyInfo(p hgraph.Params) (*core.Topology, TierInfo, error) {
+	e, created := c.entry(p)
+	info := TierInfo{Tier: TierMem}
+	if created {
+		info = TierInfo{Tier: e.tier, Creator: true, Generate: e.genTime, DiskLoad: e.loadTime}
+	}
+	return e.topo, info, e.err
+}
+
+// entry returns the ready cache entry for p, generating it on first use;
+// created reports whether this call filled it (vs. finding it resident
+// or coalescing onto another caller's in-flight load).
+func (c *NetCache) entry(p hgraph.Params) (e *cacheEntry, created bool) {
 	p = p.Canonical()
 	c.mu.Lock()
 	if el, ok := c.items[p]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		c.hits++
+		tele := c.tele
 		c.mu.Unlock()
-		<-e.ready // wait for the in-flight generation if we raced it
-		return e
+		tele.memHits.Inc()
+		select {
+		case <-e.ready:
+		default:
+			// The entry is still being filled by whoever created it: this
+			// lookup coalesces onto that load instead of duplicating it.
+			tele.coalesced.Inc()
+			<-e.ready
+		}
+		return e, false
 	}
 	c.misses++
-	e := &cacheEntry{key: p, ready: make(chan struct{})}
+	tele := c.tele
+	e = &cacheEntry{key: p, ready: make(chan struct{})}
 	c.items[p] = c.ll.PushFront(e)
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
@@ -159,31 +254,48 @@ func (c *NetCache) entry(p hgraph.Params) *cacheEntry {
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 	}
 	c.mu.Unlock()
+	tele.memMisses.Inc()
 
 	// Disk tier first: a valid blob replaces both generation and table
 	// construction. Any load failure — missing, corrupt, stale, version
 	// skew — falls through to regeneration.
+	healable := false
 	if c.store != nil {
-		if net, topo, err := c.store.Load(p); err == nil {
+		start := time.Now()
+		net, topo, err := c.store.Load(p)
+		if err == nil {
 			e.net, e.topo = net, topo
+			e.tier = TierDisk
+			e.loadTime = time.Since(start)
 			c.mu.Lock()
 			c.disk++
 			c.mu.Unlock()
+			tele.diskHits.Inc()
+			tele.diskLoad.Observe(e.loadTime)
 			close(e.ready)
-			return e
+			return e, true
 		}
+		// A blob that exists but fails to load is corrupt, stale, or
+		// version-skewed; the regeneration below heals it via Save.
+		healable = !errors.Is(err, os.ErrNotExist)
 	}
+	start := time.Now()
 	e.net, e.err = c.generate(p)
 	if e.err == nil {
 		e.topo = core.NewTopology(e.net)
+		e.tier = TierGen
+		e.genTime = time.Since(start)
+		tele.gen.Observe(e.genTime)
 		if c.store != nil {
 			// Best effort: a failed save costs a regeneration next
 			// process, not this job.
-			_ = c.store.Save(e.net, e.topo)
+			if c.store.Save(e.net, e.topo) == nil && healable {
+				tele.diskHeals.Inc()
+			}
 		}
 	}
 	close(e.ready)
-	return e
+	return e, true
 }
 
 // SetGenWorkers pins the parallelism of cache-miss regenerations

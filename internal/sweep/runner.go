@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hgraph"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -43,6 +44,39 @@ type Options struct {
 	// Progress, when non-nil, is called serially after each job completes
 	// (or is satisfied from the store).
 	Progress func(done, total int, out Outcome)
+	// Telemetry selects the obs registry engine counters and stage
+	// timers accumulate into (nil: obs.Default). Strictly observational:
+	// nothing recorded here feeds Job keys, digests, or stored Records.
+	Telemetry *obs.Registry
+	// RunLog, when non-nil, receives one JSONL lifecycle event per
+	// scheduler step (sweep start/end, job start/finish, resume skips).
+	// Logging is best effort — a failing run-log never fails a job.
+	RunLog *obs.RunLog
+}
+
+// StageTimes partitions one job's wall-clock time across the runner's
+// stages, as observed by the job's worker. CacheLookup is the full
+// GetTopologyInfo call — including time blocked on another worker's
+// in-flight load — while Generate and DiskLoad are attributed only to
+// the job that performed the work (TierInfo.Creator), so summed stage
+// totals never double count a shared generation. Purely observational;
+// absent from stored Records, so existing JSONL stores and job keys are
+// byte-identical with telemetry enabled.
+type StageTimes struct {
+	CacheLookup time.Duration `json:"cache_lookup,omitempty"`
+	Generate    time.Duration `json:"generate,omitempty"`
+	DiskLoad    time.Duration `json:"disk_load,omitempty"`
+	Run         time.Duration `json:"run,omitempty"`
+	Aggregate   time.Duration `json:"aggregate,omitempty"`
+}
+
+// add folds o into the receiver (the Monitor's accumulation step).
+func (s *StageTimes) add(o StageTimes) {
+	s.CacheLookup += o.CacheLookup
+	s.Generate += o.Generate
+	s.DiskLoad += o.DiskLoad
+	s.Run += o.Run
+	s.Aggregate += o.Aggregate
 }
 
 // Outcome is one job's result, in expansion order.
@@ -52,6 +86,16 @@ type Outcome struct {
 	// FromStore marks jobs satisfied by the result store without running.
 	FromStore bool
 	Err       error
+
+	// Stages partitions the job's wall time (zero for store hits), and
+	// CacheTier records how its topology was obtained — TierMem, TierDisk,
+	// or TierGen ("" for store hits and lookup errors). Worker is the
+	// scheduler worker that ran the job (-1 for store hits). All three
+	// are observational extras for the run-log, /status, and the
+	// end-of-sweep breakdown.
+	Stages    StageTimes
+	CacheTier string
+	Worker    int
 
 	// Populated only when Options.KeepResults is set and the job actually
 	// ran (store hits carry only the Summary):
@@ -74,8 +118,14 @@ func (o Options) withDefaults() Options {
 	if o.Band == (metrics.Band{}) {
 		o.Band = metrics.DefaultBand
 	}
+	if o.Telemetry == nil {
+		o.Telemetry = obs.Default
+	}
 	if o.Cache == nil {
 		o.Cache = NewNetCache(0)
+		// A cache this Run created reports where this Run reports; a
+		// caller-supplied cache keeps whatever binding its owner chose.
+		o.Cache.SetTelemetry(o.Telemetry)
 	}
 	// Regenerations on cache misses respect the same machine division as
 	// the runs themselves: RunWorkers of parallelism per job worker, not
@@ -96,18 +146,26 @@ func (o Options) withDefaults() Options {
 func Run(jobs []Job, opts Options) ([]Outcome, error) {
 	opts = opts.withDefaults()
 	outs := make([]Outcome, len(jobs))
+	sweepStart := time.Now()
 
 	// Resolve store hits up front so the worker loop only sees real work.
 	var pending []int
 	for i, j := range jobs {
 		if opts.Store != nil {
 			if rec, ok := opts.Store.Lookup(j.Key()); ok {
-				outs[i] = Outcome{Job: j, Summary: rec.Summary, FromStore: true}
+				outs[i] = Outcome{Job: j, Summary: rec.Summary, FromStore: true, Worker: -1}
+				_ = opts.RunLog.Event("job_skip", map[string]any{
+					"key": rec.Key, "label": j.Label(),
+				})
 				continue
 			}
 		}
 		pending = append(pending, i)
 	}
+	_ = opts.RunLog.Event("sweep_start", map[string]any{
+		"jobs": len(jobs), "pending": len(pending),
+		"resumed": len(jobs) - len(pending), "workers": opts.Workers,
+	})
 
 	var (
 		progressMu sync.Mutex
@@ -129,11 +187,15 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 		}
 	}
 
+	// Resolve the registry's engine counters and stage timers once: the
+	// per-job accounting below is then pure atomics, no name lookups.
+	tele := newRunTelemetry(opts.Telemetry)
+
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			// One simulation arena per worker, reused across jobs: the
 			// engine's per-run state and sim.Pool are rewound by Reset
@@ -142,10 +204,27 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 			arena := core.NewWorld()
 			defer arena.Close()
 			for i := range work {
-				outs[i] = execute(jobs[i], opts, arena)
+				j := jobs[i]
+				_ = opts.RunLog.Event("job_start", map[string]any{
+					"key": j.Key(), "label": j.Label(), "worker": worker,
+				})
+				start := time.Now()
+				out := execute(j, opts, arena, tele)
+				out.Worker = worker
+				outs[i] = out
+				fields := map[string]any{
+					"key": j.Key(), "label": j.Label(), "worker": worker,
+					"ms":     float64(time.Since(start).Microseconds()) / 1000,
+					"tier":   out.CacheTier,
+					"stages": out.Stages,
+				}
+				if out.Err != nil {
+					fields["err"] = out.Err.Error()
+				}
+				_ = opts.RunLog.Event("job_done", fields)
 				report(i)
 			}
-		}()
+		}(w)
 	}
 	for _, i := range pending {
 		work <- i
@@ -153,6 +232,16 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 	close(work)
 	wg.Wait()
 
+	errs := 0
+	for i := range outs {
+		if outs[i].Err != nil {
+			errs++
+		}
+	}
+	_ = opts.RunLog.Event("sweep_end", map[string]any{
+		"ran": len(pending), "resumed": len(jobs) - len(pending), "errors": errs,
+		"elapsed_ms": float64(time.Since(sweepStart).Microseconds()) / 1000,
+	})
 	for i := range outs {
 		if outs[i].Err != nil {
 			return outs, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Label(), outs[i].Err)
@@ -161,15 +250,67 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 	return outs, nil
 }
 
+// runTelemetry is the registry bindings one Run resolves up front.
+// Engine counters fold each completed run's core.Result aggregate in —
+// the round loop itself is untouched, which is how telemetry stays
+// on while TestRoundLoopZeroAlloc and the golden digests hold.
+type runTelemetry struct {
+	runs     *obs.Counter // "core.runs"
+	rounds   *obs.Counter // "core.rounds"
+	messages *obs.Counter // "core.messages"
+	bits     *obs.Counter // "core.bits"
+	dropped  *obs.Counter // "core.dropped_messages"
+	rejoins  *obs.Counter // "core.rejoins"
+
+	stageLookup *obs.Timer // "sweep.stage.cache_lookup"
+	stageGen    *obs.Timer // "sweep.stage.generate"
+	stageDisk   *obs.Timer // "sweep.stage.disk_load"
+	stageRun    *obs.Timer // "sweep.stage.run"
+	stageAgg    *obs.Timer // "sweep.stage.aggregate"
+}
+
+func newRunTelemetry(reg *obs.Registry) runTelemetry {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return runTelemetry{
+		runs:     reg.Counter("core.runs"),
+		rounds:   reg.Counter("core.rounds"),
+		messages: reg.Counter("core.messages"),
+		bits:     reg.Counter("core.bits"),
+		dropped:  reg.Counter("core.dropped_messages"),
+		rejoins:  reg.Counter("core.rejoins"),
+
+		stageLookup: reg.Timer("sweep.stage.cache_lookup"),
+		stageGen:    reg.Timer("sweep.stage.generate"),
+		stageDisk:   reg.Timer("sweep.stage.disk_load"),
+		stageRun:    reg.Timer("sweep.stage.run"),
+		stageAgg:    reg.Timer("sweep.stage.aggregate"),
+	}
+}
+
 // execute runs one job to completion on the worker's arena.
-func execute(j Job, opts Options, arena *core.World) Outcome {
+func execute(j Job, opts Options, arena *core.World, tele runTelemetry) Outcome {
 	out := Outcome{Job: j}
 	start := time.Now()
 
-	topo, err := opts.Cache.GetTopology(j.Net)
+	topo, info, err := opts.Cache.GetTopologyInfo(j.Net)
+	out.Stages.CacheLookup = time.Since(start)
+	tele.stageLookup.Observe(out.Stages.CacheLookup)
 	if err != nil {
 		out.Err = err
 		return out
+	}
+	out.CacheTier = info.Tier
+	if info.Creator {
+		out.Stages.Generate = info.Generate
+		out.Stages.DiskLoad = info.DiskLoad
+		if info.Generate > 0 {
+			tele.stageGen.Observe(info.Generate)
+		}
+		if info.DiskLoad > 0 {
+			tele.stageDisk.Observe(info.DiskLoad)
+		}
 	}
 	net := topo.Net
 	var byz []bool
@@ -192,11 +333,25 @@ func execute(j Job, opts Options, arena *core.World) Outcome {
 		obs = opts.Observer(j)
 		cfg.Observer = obs
 	}
+	runStart := time.Now()
 	res, err := arena.RunTopology(topo, byz, adv, cfg)
+	out.Stages.Run = time.Since(runStart)
+	tele.stageRun.Observe(out.Stages.Run)
 	if err != nil {
 		out.Err = err
 		return out
 	}
+	// Fold the run's communication-cost aggregate into the registry. The
+	// engine already accounted it (core.Counters via sim.Counters); this
+	// is a per-job handful of atomic adds, never a round-loop cost.
+	tele.runs.Inc()
+	tele.rounds.Add(res.Rounds)
+	tele.messages.Add(res.Messages)
+	tele.bits.Add(res.Bits)
+	tele.dropped.Add(res.DroppedMessages)
+	tele.rejoins.Add(int64(res.Rejoins))
+
+	aggStart := time.Now()
 	out.Summary = metrics.Summarize(res, opts.Band)
 	if opts.KeepResults {
 		out.Result = res
@@ -215,5 +370,7 @@ func execute(j Job, opts Options, arena *core.World) Outcome {
 			out.Err = err
 		}
 	}
+	out.Stages.Aggregate = time.Since(aggStart)
+	tele.stageAgg.Observe(out.Stages.Aggregate)
 	return out
 }

@@ -6,7 +6,9 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/core"
@@ -139,8 +141,11 @@ func (r *Recorder) PhaseEnd(w *core.World) {
 
 func (r *Recorder) scanDecisions(w *core.World, base Event) {
 	n := w.N()
-	if r.decided == nil {
-		r.decided = make([]bool, n)
+	if len(r.decided) < n {
+		// First run, or a reused Recorder observing a larger network than
+		// any before it: grow (Reset keeps capacity, so same-size reuse
+		// never reallocates).
+		r.decided = append(r.decided, make([]bool, n-len(r.decided))...)
 	}
 	for v := 0; v < n; v++ {
 		if p := w.DecidedPhase(v); p > 0 && !r.decided[v] {
@@ -152,6 +157,68 @@ func (r *Recorder) scanDecisions(w *core.World, base Event) {
 			r.push(e)
 		}
 	}
+}
+
+// Reset rewinds the Recorder for a new run, arena-style: every
+// accumulator (events, drop count, phase/subphase edge detectors, the
+// per-node decided set, the global-maximum watermark, kind counts) is
+// cleared in place while the backing allocations are kept, so one
+// Recorder serves a whole sweep of runs the way one core.World does.
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.dropped = 0
+	r.lastPhase, r.lastSub = 0, 0
+	for i := range r.decided {
+		r.decided[i] = false
+	}
+	r.globalMax = 0
+	for k := range r.counts {
+		delete(r.counts, k)
+	}
+}
+
+// jsonEvent is Event's JSONL wire shape: Kind rendered as its string
+// name so the lines are self-describing to the same analysis pipeline
+// that reads the scheduler run-log.
+type jsonEvent struct {
+	Round    int64  `json:"round"`
+	Phase    int    `json:"phase"`
+	Subphase int    `json:"subphase"`
+	T        int    `json:"t"`
+	Kind     string `json:"kind"`
+	Node     int32  `json:"node"`
+	Value    int64  `json:"value,omitempty"`
+}
+
+// WriteJSONL exports the retained events as JSON Lines, oldest first. A
+// leading meta line records the drop count when the ring overflowed, so
+// a consumer knows the prefix is missing rather than silently partial.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r.dropped > 0 {
+		if err := writeLine(w, map[string]any{"kind": "meta", "dropped": r.dropped}); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.events {
+		je := jsonEvent{
+			Round: e.Round, Phase: e.Phase, Subphase: e.Subphase, T: e.T,
+			Kind: e.Kind.String(), Node: e.Node, Value: e.Value,
+		}
+		if err := writeLine(w, je); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeLine(w io.Writer, v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("trace: marshal event: %w", err)
+	}
+	line = append(line, '\n')
+	_, err = w.Write(line)
+	return err
 }
 
 // Events returns the recorded events (oldest first, after any drops).

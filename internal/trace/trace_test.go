@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -117,5 +119,125 @@ func TestNewDefaultCapacity(t *testing.T) {
 	r := New(0)
 	if r.cap != 4096 {
 		t.Fatalf("default cap = %d", r.cap)
+	}
+}
+
+// TestRecorderReset pins arena-style reuse: a Recorder Reset between
+// runs records exactly what a fresh Recorder does — no leaked decided
+// set, no leaked global-max watermark, no leaked counts or drops.
+func TestRecorderReset(t *testing.T) {
+	net, err := hgraph.New(hgraph.Params{N: 256, D: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Algorithm: core.AlgorithmBasic, Seed: 7}
+
+	reused := New(1 << 20)
+	cfg.Observer = reused
+	if _, err := core.Run(net, nil, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+	firstEvents := len(reused.Events())
+	reused.Reset()
+	if len(reused.Events()) != 0 || reused.Dropped() != 0 || reused.Count(KindDecide) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if _, err := core.Run(net, nil, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := New(1 << 20)
+	cfg.Observer = fresh
+	if _, err := core.Run(net, nil, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	got, want := reused.Events(), fresh.Events()
+	if len(got) != len(want) || len(got) != firstEvents {
+		t.Fatalf("reused recorder saw %d events, fresh saw %d, first run saw %d",
+			len(got), len(want), firstEvents)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d differs after Reset: %v vs %v", i, got[i], want[i])
+		}
+	}
+	for _, k := range []Kind{KindPhase, KindSubphase, KindDecide, KindNewGlobalMax} {
+		if reused.Count(k) != fresh.Count(k) {
+			t.Fatalf("count %v differs after Reset: %d vs %d", k, reused.Count(k), fresh.Count(k))
+		}
+	}
+}
+
+// TestRecorderResetAcrossSizes pins that a reused Recorder survives a
+// larger network after a smaller one (the decided set must grow).
+func TestRecorderResetAcrossSizes(t *testing.T) {
+	rec := New(1 << 20)
+	for _, n := range []int{64, 256, 128} {
+		net, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(net, nil, nil, core.Config{
+			Algorithm: core.AlgorithmBasic, Seed: 7, Observer: rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := res.HonestCount - res.UndecidedCount; rec.Count(KindDecide) != want {
+			t.Fatalf("n=%d: %d decide events, want %d", n, rec.Count(KindDecide), want)
+		}
+		rec.Reset()
+	}
+}
+
+// TestWriteJSONL round-trips the ring buffer through the JSONL export.
+func TestWriteJSONL(t *testing.T) {
+	rec, _ := runWithRecorder(t, 1<<20)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(rec.Events()) {
+		t.Fatalf("%d JSONL lines for %d events", len(lines), len(rec.Events()))
+	}
+	for i, line := range lines {
+		var e struct {
+			Round int64  `json:"round"`
+			Kind  string `json:"kind"`
+			Node  int32  `json:"node"`
+			Value int64  `json:"value"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+		want := rec.Events()[i]
+		if e.Round != want.Round || e.Kind != want.Kind.String() || e.Node != want.Node || e.Value != want.Value {
+			t.Fatalf("line %d = %+v, want %v", i, e, want)
+		}
+	}
+}
+
+// TestWriteJSONLDroppedMeta pins the meta line announcing ring drops.
+func TestWriteJSONLDroppedMeta(t *testing.T) {
+	rec, _ := runWithRecorder(t, 64)
+	if rec.Dropped() == 0 {
+		t.Fatal("expected drops with tiny cap")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	var meta struct {
+		Kind    string `json:"kind"`
+		Dropped int    `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(first), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Kind != "meta" || meta.Dropped != rec.Dropped() {
+		t.Fatalf("meta line = %+v, want dropped=%d", meta, rec.Dropped())
 	}
 }
