@@ -114,15 +114,22 @@ func loadTrajectory(path string) (trajectory, error) {
 	}}}, nil
 }
 
-func measure(name string, fn func(b *testing.B)) benchResult {
-	fmt.Fprintf(os.Stderr, "bench %-34s ", name)
-	r := testing.Benchmark(fn)
+func measure(c benchCase) benchResult {
+	fmt.Fprintf(os.Stderr, "bench %-34s ", c.name)
+	r := testing.Benchmark(c.fn)
+	// Batched cases time one multi-lane invocation per op; dividing by the
+	// lane count records per-run figures, so RunsPerSec is the aggregate
+	// lane throughput and ns/op is directly comparable to the scalar case.
+	lanes := int64(1)
+	if c.lanes > 1 {
+		lanes = int64(c.lanes)
+	}
 	out := benchResult{
-		Name:        name,
-		NsPerOp:     float64(r.NsPerOp()),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		Iterations:  r.N,
+		Name:        c.name,
+		NsPerOp:     float64(r.NsPerOp()) / float64(lanes),
+		AllocsPerOp: r.AllocsPerOp() / lanes,
+		BytesPerOp:  r.AllocedBytesPerOp() / lanes,
+		Iterations:  r.N * int(lanes),
 	}
 	if out.NsPerOp > 0 {
 		out.RunsPerSec = 1e9 / out.NsPerOp
@@ -132,10 +139,13 @@ func measure(name string, fn func(b *testing.B)) benchResult {
 }
 
 // benchCase is one named benchmark the tool can run (and re-run in
-// compare mode).
+// compare mode). lanes > 1 marks a batched case whose op is one
+// invocation of that many lockstep runs; measure folds it back to
+// per-run units.
 type benchCase struct {
-	name string
-	fn   func(b *testing.B)
+	name  string
+	lanes int
+	fn    func(b *testing.B)
 }
 
 // cases builds the benchmark registry for the selected scale.
@@ -166,6 +176,11 @@ func cases(quick bool) []benchCase {
 	}
 	cfg := core.Config{Algorithm: core.AlgorithmByzantine, Seed: 13, Workers: 1}
 
+	// batchLanes is the lockstep width of the batched cases — the sweep
+	// scheduler's DefaultBatchLanes, so the bench measures the width the
+	// runner actually uses.
+	const batchLanes = sweep.DefaultBatchLanes
+
 	var cs []benchCase
 	for _, n := range sizes {
 		n := n
@@ -173,7 +188,7 @@ func cases(quick bool) []benchCase {
 		if n < 16384 {
 			// Fresh-arena construction stops being interesting at the
 			// largest size; the arena path is what the sweep runs.
-			cs = append(cs, benchCase{fmt.Sprintf("core/run-fresh/n=%d", n), func(b *testing.B) {
+			cs = append(cs, benchCase{name: fmt.Sprintf("core/run-fresh/n=%d", n), fn: func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := core.Run(nets[n], byzs[n], nil, cfg); err != nil {
@@ -182,7 +197,7 @@ func cases(quick bool) []benchCase {
 				}
 			}})
 		}
-		cs = append(cs, benchCase{fmt.Sprintf("core/run-arena/n=%d", n), func(b *testing.B) {
+		cs = append(cs, benchCase{name: fmt.Sprintf("core/run-arena/n=%d", n), fn: func(b *testing.B) {
 			w := core.NewWorld()
 			defer w.Close()
 			if _, err := w.RunTopology(topos[n], byzs[n], nil, cfg); err != nil {
@@ -198,6 +213,33 @@ func cases(quick bool) []benchCase {
 		}})
 	}
 
+	// Batched lockstep execution over the largest arena: batchLanes
+	// Byzantine runs (seeds varied per lane, the sweep's trial axis) share
+	// one CSR traversal per round. One op is one invocation; measure folds
+	// the figures back to per-run units, so the ns/op ratio against
+	// core/run-arena at the same n IS the aggregate throughput gain.
+	nb := sizes[len(sizes)-1]
+	cs = append(cs, benchCase{name: fmt.Sprintf("core/run-batch/n=%d", nb), lanes: batchLanes, fn: func(b *testing.B) {
+		specs := make([]core.LaneSpec, batchLanes)
+		for l := range specs {
+			lcfg := cfg
+			lcfg.Seed = cfg.Seed + uint64(l)
+			specs[l] = core.LaneSpec{Byz: byzs[nb], Cfg: lcfg}
+		}
+		bw := core.NewBatchWorld()
+		defer bw.Close()
+		if _, err := bw.RunTopology(topos[nb], specs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bw.RunTopology(topos[nb], specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+
 	for _, hp := range hiphase {
 		hp := hp
 		prime(hp.n)
@@ -211,7 +253,7 @@ func cases(quick bool) []benchCase {
 		}{{"", core.FrontierOn}, {"-dense", core.FrontierOff}} {
 			mode := mode
 			name := fmt.Sprintf("core/run-hiphase%s/n=%d", mode.suffix, hp.n)
-			cs = append(cs, benchCase{name, func(b *testing.B) {
+			cs = append(cs, benchCase{name: name, fn: func(b *testing.B) {
 				hcfg := core.Config{
 					Algorithm:      core.AlgorithmBasic,
 					Seed:           13,
@@ -233,6 +275,34 @@ func cases(quick bool) []benchCase {
 				}
 			}})
 		}
+		// The batched variant of the same high-phase regime: here the
+		// shared CSR traversal has the most to amortize — long quiescent
+		// tails where every lane's frontier has collapsed to the same
+		// injector neighborhood.
+		cs = append(cs, benchCase{name: fmt.Sprintf("core/run-hiphase-batch/n=%d", hp.n), lanes: batchLanes, fn: func(b *testing.B) {
+			specs := make([]core.LaneSpec, batchLanes)
+			for l := range specs {
+				specs[l] = core.LaneSpec{Byz: byzOne, Adv: adversary.FinalRoundInflate{}, Cfg: core.Config{
+					Algorithm:      core.AlgorithmBasic,
+					Seed:           uint64(13 + l),
+					Workers:        1,
+					MaxPhase:       hp.maxPhase,
+					FrontierRounds: core.FrontierOn,
+				}}
+			}
+			bw := core.NewBatchWorld()
+			defer bw.Close()
+			if _, err := bw.RunTopology(topos[hp.n], specs); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bw.RunTopology(topos[hp.n], specs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
 	}
 
 	// Topology pipeline: cold generation on the fast path (what a cache
@@ -241,7 +311,7 @@ func cases(quick bool) []benchCase {
 	// disk-tier hit (what a warm store turns that miss into).
 	for _, n := range genSizes {
 		n := n
-		cs = append(cs, benchCase{fmt.Sprintf("hgraph/gen/n=%d", n), func(b *testing.B) {
+		cs = append(cs, benchCase{name: fmt.Sprintf("hgraph/gen/n=%d", n), fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := hgraph.New(hgraph.Params{N: n, D: 8, Seed: 11}); err != nil {
@@ -252,7 +322,7 @@ func cases(quick bool) []benchCase {
 	}
 	for _, n := range genRefSizes {
 		n := n
-		cs = append(cs, benchCase{fmt.Sprintf("hgraph/gen-ref/n=%d", n), func(b *testing.B) {
+		cs = append(cs, benchCase{name: fmt.Sprintf("hgraph/gen-ref/n=%d", n), fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := hgraph.NewReference(hgraph.Params{N: n, D: 8, Seed: 11}); err != nil {
@@ -263,7 +333,7 @@ func cases(quick bool) []benchCase {
 	}
 	for _, n := range loadSizes {
 		n := n
-		cs = append(cs, benchCase{fmt.Sprintf("graphio/load/n=%d", n), func(b *testing.B) {
+		cs = append(cs, benchCase{name: fmt.Sprintf("graphio/load/n=%d", n), fn: func(b *testing.B) {
 			store, err := graphio.OpenNetStore(b.TempDir())
 			if err != nil {
 				b.Fatal(err)
@@ -289,7 +359,7 @@ func cases(quick bool) []benchCase {
 	// The sweep scheduler's steady state: a warmed network cache, one
 	// arena per worker, grid cells streaming through.
 	sweepN := sizes[0]
-	cs = append(cs, benchCase{fmt.Sprintf("sweep/cached/n=%d", sweepN), func(b *testing.B) {
+	cs = append(cs, benchCase{name: fmt.Sprintf("sweep/cached/n=%d", sweepN), fn: func(b *testing.B) {
 		spec := sweep.Spec{
 			Name:        "bench",
 			Sizes:       []int{sweepN},
@@ -331,10 +401,10 @@ func gitLabel() string {
 // ns/op sample (the standard noise-robust statistic for a gate — a slow
 // sample is load, a fast sample is the machine). Alloc/byte counts are
 // deterministic and taken from the last run.
-func measureBest(name string, fn func(b *testing.B)) benchResult {
-	best := measure(name, fn)
+func measureBest(c benchCase) benchResult {
+	best := measure(c)
 	for i := 0; i < 2; i++ {
-		if r := measure(name, fn); r.NsPerOp < best.NsPerOp {
+		if r := measure(c); r.NsPerOp < best.NsPerOp {
 			best = r
 		}
 	}
@@ -355,11 +425,24 @@ const minSpeedup = 1.1
 // noise room while catching any change that erases the fast path's win.
 const minGenSpeedup = 1.3
 
+// minBatchSpeedup is the floor on the same-run scalar-vs-batched ratio
+// of the hiphase pair: per-run ns/op of the scalar frontier case over
+// the per-lane ns/op of its 16-lane batched counterpart at the same n.
+// The high-phase regime is where the shared traversal amortizes — the
+// full-scale entry shows the headline multiple, the quick n=512 case
+// measures ~1.7×; 1.4 leaves noise room while catching any change that
+// erases lockstep execution's win. The Byzantine-arena batch case is
+// reported but not gated: its runtime is dominated by per-lane
+// verification reruns that batching cannot amortize, so its ratio
+// hovers near 1 and below at small n.
+const minBatchSpeedup = 1.4
+
 // compare re-measures the core/run benchmarks of the baseline's last
 // entry that are available at the current scale and writes a
 // benchstat-style table. Two machine-independent checks always gate:
-// allocs/op may not grow, and each hiphase frontier/dense pair measured
-// in THIS run must keep a ≥ minSpeedup dense-to-frontier ratio. The
+// allocs/op may not grow (beyond a 0.5% slack absorbing GC-cadence
+// noise in the setup-heavy cases), and each hiphase frontier/dense pair
+// measured in THIS run must keep a ≥ minSpeedup dense-to-frontier ratio. The
 // absolute ns/op threshold (maxRegress) additionally gates only when the
 // baseline entry was recorded on matching hardware — absolute
 // nanoseconds from a different machine are not a regression signal, so
@@ -394,7 +477,7 @@ func compare(baseline trajectory, cs []benchCase, maxRegress float64, out *strin
 			fmt.Fprintf(out, "%-36s skipped: not available at this scale\n", old.Name)
 			continue
 		}
-		now := measureBest(c.name, c.fn)
+		now := measureBest(c)
 		measured[c.name] = now
 		compared++
 		delta := now.NsPerOp/old.NsPerOp - 1
@@ -403,7 +486,15 @@ func compare(baseline trajectory, cs []benchCase, maxRegress float64, out *strin
 		if sameMachine && delta > maxRegress {
 			failures = append(failures, fmt.Sprintf("%s: ns/op %+.1f%% (limit %+.0f%%)", old.Name, delta*100, maxRegress*100))
 		}
-		if now.AllocsPerOp > old.AllocsPerOp {
+		// Alloc counts of the setup-heavy fresh/arena cases are not
+		// perfectly deterministic: a run's total includes runtime
+		// activity whose cadence tracks GC frequency, and the quick
+		// gate's process primes a far smaller heap than the full-scale
+		// record run, shifting that cadence (observed ±2 on ~1550
+		// allocs/op). A 0.5% slack absorbs it; integer division keeps
+		// the gate exact for the lean cases — the 5-alloc hiphase paths
+		// (and any future 0-alloc case) get zero slack.
+		if slack := old.AllocsPerOp / 200; now.AllocsPerOp > old.AllocsPerOp+slack {
 			failures = append(failures, fmt.Sprintf("%s: allocs/op %d -> %d", old.Name, old.AllocsPerOp, now.AllocsPerOp))
 		}
 	}
@@ -425,16 +516,59 @@ func compare(baseline trajectory, cs []benchCase, maxRegress float64, out *strin
 		}
 		fr, ok := measured[c.name]
 		if !ok {
-			fr = measureBest(c.name, c.fn)
+			fr = measureBest(c)
+			measured[c.name] = fr
 		}
 		dn, ok := measured[denseName]
 		if !ok {
-			dn = measureBest(dc.name, dc.fn)
+			dn = measureBest(dc)
+			measured[denseName] = dn
 		}
 		ratio := dn.NsPerOp / fr.NsPerOp
 		fmt.Fprintf(out, "\n%-36s dense/frontier = %.2fx (floor %.2fx)\n", c.name, ratio, minSpeedup)
 		if ratio < minSpeedup {
 			failures = append(failures, fmt.Sprintf("%s: frontier speedup %.2fx below %.2fx floor", c.name, ratio, minSpeedup))
+		}
+	}
+
+	// Same-run batched-vs-scalar ratio: per-lane batched throughput over
+	// the scalar engine on the identical workload, machine-independent
+	// like the frontier ratio. The high-phase pair gates (traversal-bound,
+	// the regime batching exists for); the Byzantine-arena pair is
+	// informational (verification-bound — see minBatchSpeedup).
+	for _, c := range cs {
+		var scalarName string
+		gated := false
+		switch {
+		case strings.HasPrefix(c.name, "core/run-batch/"):
+			scalarName = strings.Replace(c.name, "core/run-batch/", "core/run-arena/", 1)
+		case strings.HasPrefix(c.name, "core/run-hiphase-batch/"):
+			scalarName = strings.Replace(c.name, "core/run-hiphase-batch/", "core/run-hiphase/", 1)
+			gated = true
+		default:
+			continue
+		}
+		sc, ok := byName[scalarName]
+		if !ok {
+			continue
+		}
+		bt, ok := measured[c.name]
+		if !ok {
+			bt = measureBest(c)
+		}
+		sr, ok := measured[scalarName]
+		if !ok {
+			sr = measureBest(sc)
+			measured[scalarName] = sr
+		}
+		ratio := sr.NsPerOp / bt.NsPerOp
+		if gated {
+			fmt.Fprintf(out, "\n%-36s scalar/batched = %.2fx (floor %.2fx)\n", c.name, ratio, minBatchSpeedup)
+			if ratio < minBatchSpeedup {
+				failures = append(failures, fmt.Sprintf("%s: batch speedup %.2fx below %.2fx floor", c.name, ratio, minBatchSpeedup))
+			}
+		} else {
+			fmt.Fprintf(out, "\n%-36s scalar/batched = %.2fx (informational)\n", c.name, ratio)
 		}
 	}
 
@@ -451,15 +585,15 @@ func compare(baseline trajectory, cs []benchCase, maxRegress float64, out *strin
 		if !ok {
 			continue
 		}
-		fast := measureBest(c.name, c.fn)
-		ref := measureBest(rc.name, rc.fn)
+		fast := measureBest(c)
+		ref := measureBest(rc)
 		ratio := ref.NsPerOp / fast.NsPerOp
 		fmt.Fprintf(out, "\n%-36s ref/fast = %.2fx (floor %.2fx)\n", c.name, ratio, minGenSpeedup)
 		if ratio < minGenSpeedup {
 			failures = append(failures, fmt.Sprintf("%s: generation speedup %.2fx below %.2fx floor", c.name, ratio, minGenSpeedup))
 		}
 		if lc, ok := byName[strings.Replace(c.name, "hgraph/gen/", "graphio/load/", 1)]; ok {
-			load := measureBest(lc.name, lc.fn)
+			load := measureBest(lc)
 			fmt.Fprintf(out, "%-36s gen/load = %.2fx (informational)\n", lc.name, fast.NsPerOp/load.NsPerOp)
 		}
 	}
@@ -534,7 +668,7 @@ func main() {
 		e.Label = gitLabel()
 	}
 	for _, c := range cs {
-		e.Benchmarks = append(e.Benchmarks, measure(c.name, c.fn))
+		e.Benchmarks = append(e.Benchmarks, measure(c))
 	}
 
 	tr := trajectory{}

@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+// TestBatchRoundLoopZeroAlloc is the batched counterpart of
+// TestRoundLoopZeroAlloc: once a batched invocation is set up, executing
+// subphases — lane-major color generation, Byzantine send latching across
+// every lane, the mask-parallel kernel, quiet-loss replay, frontier
+// builds, watermark advances, and the per-chunk counter folds — must not
+// allocate, serial or parallel, with reliable links or under message
+// loss.
+func TestBatchRoundLoopZeroAlloc(t *testing.T) {
+	net := benchNet(512)
+	byz := benchByz(512)
+	topo := NewTopology(net)
+	for _, tc := range []struct {
+		name   string
+		faults []FaultModel
+	}{
+		{name: "reliable", faults: nil},
+		{name: "loss", faults: []FaultModel{MessageLoss{Prob: 0.1}}},
+	} {
+		for _, workers := range []int{1, 4} {
+			bw := NewBatchWorld()
+			specs := make([]LaneSpec, 8)
+			for l := range specs {
+				specs[l] = LaneSpec{
+					Byz: byz,
+					Cfg: Config{Algorithm: AlgorithmByzantine, Seed: uint64(13 + l), Workers: workers, Faults: tc.faults},
+				}
+			}
+			if err := bw.reset(topo, specs); err != nil {
+				t.Fatal(err)
+			}
+			// Replay runBatch's prelude so the subphase runs on armed
+			// lanes, as it would mid-run.
+			for _, w := range bw.lanes {
+				w.adv.Init(w)
+			}
+			if bw.verify {
+				for _, w := range bw.lanes {
+					w.runExchange()
+				}
+			}
+			for _, w := range bw.lanes {
+				w.scheduleFaults()
+			}
+			bw.rebuildMasks()
+			bw.liveM = (uint64(1) << uint(bw.nl-1) << 1) - 1
+			bw.runSubphaseBatch(4, 1) // warm any lazy state
+			allocs := testing.AllocsPerRun(50, func() {
+				bw.runSubphaseBatch(4, 1)
+			})
+			if tc.faults != nil {
+				var dropped int64
+				for _, w := range bw.lanes {
+					dropped += w.dropped.Load()
+				}
+				if dropped == 0 {
+					t.Errorf("%s: loss model armed but nothing dropped — guard is vacuous", tc.name)
+				}
+			}
+			bw.Close()
+			if allocs != 0 {
+				t.Errorf("%s workers=%d: batched round loop allocates %.1f objects per subphase, want 0", tc.name, workers, allocs)
+			}
+		}
+	}
+}

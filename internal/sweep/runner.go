@@ -52,6 +52,15 @@ type Options struct {
 	// scheduler step (sweep start/end, job start/finish, resume skips).
 	// Logging is best effort — a failing run-log never fails a job.
 	RunLog *obs.RunLog
+	// Batch caps the lane width of lockstep batched execution: pending
+	// jobs sharing a topology and protocol schedule run as lanes of one
+	// core.RunBatch invocation (per-job Outcomes, Records, keys, and
+	// digests are unchanged — grouping is pure scheduling). 0 consults
+	// the REPRO_BATCH environment variable (off when unset); 1 disables
+	// batching; larger widths are clamped to core.MaxBatchLanes. A
+	// per-job Observer disables batching, and occupancy-recording jobs
+	// fall back to the scalar engine individually.
+	Batch int
 }
 
 // StageTimes partitions one job's wall-clock time across the runner's
@@ -97,6 +106,11 @@ type Outcome struct {
 	CacheTier string
 	Worker    int
 
+	// BatchLanes is the lane count of the batched invocation that
+	// executed this job (1 when it ran the scalar engine alone, 0 for
+	// store hits and jobs that failed before execution).
+	BatchLanes int
+
 	// Populated only when Options.KeepResults is set and the job actually
 	// ran (store hits carry only the Summary):
 	Result   *core.Result
@@ -120,6 +134,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Telemetry == nil {
 		o.Telemetry = obs.Default
+	}
+	if o.Batch == 0 {
+		o.Batch = EnvBatch()
+	}
+	if o.Batch < 1 {
+		o.Batch = 1
+	}
+	if o.Batch > core.MaxBatchLanes {
+		o.Batch = core.MaxBatchLanes
 	}
 	if o.Cache == nil {
 		o.Cache = NewNetCache(0)
@@ -165,6 +188,7 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 	_ = opts.RunLog.Event("sweep_start", map[string]any{
 		"jobs": len(jobs), "pending": len(pending),
 		"resumed": len(jobs) - len(pending), "workers": opts.Workers,
+		"batch": opts.Batch,
 	})
 
 	var (
@@ -191,7 +215,12 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 	// per-job accounting below is then pure atomics, no name lookups.
 	tele := newRunTelemetry(opts.Telemetry)
 
-	work := make(chan int)
+	// Group pending jobs into work items: compatible jobs become lanes of
+	// one batched invocation, everything else stays a singleton running
+	// the scalar engine.
+	items := batchPlan(jobs, pending, opts)
+
+	work := make(chan []int)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
@@ -200,34 +229,57 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 			// One simulation arena per worker, reused across jobs: the
 			// engine's per-run state and sim.Pool are rewound by Reset
 			// instead of reallocated, and cache-hit jobs reuse the
-			// cached network's precomputed topology tables.
+			// cached network's precomputed topology tables. The batched
+			// arena is created on first batched item only — a scalar
+			// sweep never pays for it.
 			arena := core.NewWorld()
 			defer arena.Close()
-			for i := range work {
-				j := jobs[i]
-				_ = opts.RunLog.Event("job_start", map[string]any{
-					"key": j.Key(), "label": j.Label(), "worker": worker,
-				})
+			var barena *core.BatchWorld
+			defer func() {
+				if barena != nil {
+					barena.Close()
+				}
+			}()
+			for item := range work {
+				for _, i := range item {
+					_ = opts.RunLog.Event("job_start", map[string]any{
+						"key": jobs[i].Key(), "label": jobs[i].Label(), "worker": worker,
+						"lanes": len(item),
+					})
+				}
 				start := time.Now()
-				out := execute(j, opts, arena, tele)
-				out.Worker = worker
-				outs[i] = out
-				fields := map[string]any{
-					"key": j.Key(), "label": j.Label(), "worker": worker,
-					"ms":     float64(time.Since(start).Microseconds()) / 1000,
-					"tier":   out.CacheTier,
-					"stages": out.Stages,
+				if len(item) == 1 {
+					i := item[0]
+					out := execute(jobs[i], opts, arena, tele)
+					out.BatchLanes = 1
+					outs[i] = out
+				} else {
+					if barena == nil {
+						barena = core.NewBatchWorld()
+					}
+					executeBatch(jobs, item, opts, barena, tele, outs)
 				}
-				if out.Err != nil {
-					fields["err"] = out.Err.Error()
+				ms := float64(time.Since(start).Microseconds()) / 1000 / float64(len(item))
+				for _, i := range item {
+					outs[i].Worker = worker
+					fields := map[string]any{
+						"key": jobs[i].Key(), "label": jobs[i].Label(), "worker": worker,
+						"ms":     ms,
+						"tier":   outs[i].CacheTier,
+						"stages": outs[i].Stages,
+						"lanes":  outs[i].BatchLanes,
+					}
+					if outs[i].Err != nil {
+						fields["err"] = outs[i].Err.Error()
+					}
+					_ = opts.RunLog.Event("job_done", fields)
+					report(i)
 				}
-				_ = opts.RunLog.Event("job_done", fields)
-				report(i)
 			}
 		}(w)
 	}
-	for _, i := range pending {
-		work <- i
+	for _, item := range items {
+		work <- item
 	}
 	close(work)
 	wg.Wait()
@@ -262,6 +314,11 @@ type runTelemetry struct {
 	dropped  *obs.Counter // "core.dropped_messages"
 	rejoins  *obs.Counter // "core.rejoins"
 
+	// Batched-execution accounting: lanes over invocations is the mean
+	// lane occupancy the breakdown table reports.
+	batchLanes       *obs.Counter // "core.batch.lanes"
+	batchInvocations *obs.Counter // "core.batch.invocations"
+
 	stageLookup *obs.Timer // "sweep.stage.cache_lookup"
 	stageGen    *obs.Timer // "sweep.stage.generate"
 	stageDisk   *obs.Timer // "sweep.stage.disk_load"
@@ -280,6 +337,9 @@ func newRunTelemetry(reg *obs.Registry) runTelemetry {
 		bits:     reg.Counter("core.bits"),
 		dropped:  reg.Counter("core.dropped_messages"),
 		rejoins:  reg.Counter("core.rejoins"),
+
+		batchLanes:       reg.Counter("core.batch.lanes"),
+		batchInvocations: reg.Counter("core.batch.invocations"),
 
 		stageLookup: reg.Timer("sweep.stage.cache_lookup"),
 		stageGen:    reg.Timer("sweep.stage.generate"),
