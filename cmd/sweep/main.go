@@ -29,22 +29,34 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
+// main delegates to run so run's defers (store close+sync, run-log
+// close, profile and snapshot flushes) execute before the process exits
+// — including on a SIGINT/SIGTERM abort, which drains in-flight jobs
+// and leaves a resumable store behind instead of vanishing mid-write.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		specPath   = flag.String("spec", "", "JSON spec file (flags below are ignored when set)")
 		sizes      = flag.String("n", "256,512", "comma-separated network sizes")
@@ -210,16 +222,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "telemetry http://%s/status (expvar: /debug/vars, pprof: /debug/pprof/)\n", srv.Addr())
 	}
 
+	// Ctrl-C (or a SIGTERM from a supervisor — sweepd workers that lose
+	// a lease reuse this same drain path) cancels the sweep context: the
+	// scheduler stops dispatching, in-flight jobs drain into the store,
+	// the run-log gets its sweep_end with aborted:true, and the deferred
+	// closers flush the telemetry snapshot and pprof artifacts below. A
+	// second signal kills the process immediately.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+
 	start := time.Now()
-	outs, err := sweep.Run(jobs, opts)
-	if err != nil {
+	outs, err := sweep.RunContext(ctx, jobs, opts)
+	aborted := err != nil && errors.Is(err, context.Canceled)
+	if err != nil && !aborted {
 		fatal(err)
 	}
 	ran, skipped := 0, 0
 	for _, o := range outs {
 		if o.FromStore {
 			skipped++
-		} else {
+		} else if o.Err == nil {
 			ran++
 		}
 	}
@@ -244,6 +270,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote telemetry snapshot %s\n", *telePath)
 	}
+	if aborted {
+		// Drained: everything that ran is in the store, the snapshot and
+		// profiles flush on the way out. Partial aggregates would
+		// masquerade as the grid's answer, so none are rendered — the
+		// store resumes this sweep instead.
+		fmt.Fprintf(os.Stderr, "aborted: %v; re-run with the same -store to resume\n", err)
+		return 130
+	}
 
 	groups := sweep.Aggregate(outs)
 	var rendered string
@@ -257,12 +291,13 @@ func main() {
 	}
 	if *outPath == "" {
 		fmt.Print(rendered)
-		return
+		return 0
 	}
 	if err := os.WriteFile(*outPath, []byte(rendered), 0o644); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d cells)\n", *outPath, len(groups))
+	return 0
 }
 
 // stopCPUProfile, when profiling, flushes and closes the CPU profile;

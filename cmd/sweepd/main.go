@@ -1,0 +1,371 @@
+// Command sweepd runs a scenario grid across machines: a coordinator
+// expands the grid once, partitions pending jobs into content-key-range
+// shards, and serves them over HTTP with lease-based assignment; worker
+// processes (the same binary with -worker) claim shards, run them
+// through the ordinary sweep scheduler, stream records back, and
+// heartbeat. A worker that dies mid-shard simply stops heartbeating —
+// its lease expires, the shard reassigns, and the replacement worker
+// recomputes only the jobs the dead worker never reported. Aggregates
+// fold in expansion order from the one merged store, so the output is
+// byte-identical to a single-process `sweep` run of the same grid, for
+// any shard count, worker count, or number of mid-sweep deaths.
+//
+// Usage:
+//
+//	sweepd -n 1024 -delta 0.75 -adv none,inflate -trials 8 \
+//	       -store merged.jsonl -shards 8 -http :9900        # coordinator
+//	sweepd -worker http://host:9900 -name w1                # worker (×N)
+//	sweepd -spec grid.json -store merged.jsonl -http :9900  # spec file
+//
+// The coordinator resolves store hits before serving anything, so
+// re-running with the same -store resumes the fleet where it stopped.
+// /status on the coordinator's address serves the familiar sweep
+// Monitor document plus shard and worker-liveness tallies; -telemetry
+// writes that document as JSON on exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+	"repro/internal/sweepd"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		// Worker mode.
+		workerURL  = flag.String("worker", "", "run as a worker against this coordinator URL")
+		name       = flag.String("name", "", "worker name for leases and /status (default host.pid)")
+		workers    = flag.Int("workers", 0, "concurrent jobs per worker (0 = GOMAXPROCS)")
+		runWorkers = flag.Int("run-workers", 0, "sim workers per job (0 = auto)")
+		cacheCap   = flag.Int("cache", 0, "network cache capacity (0 = default)")
+		netstore   = flag.String("netstore", "", "topology store: dir, \"on\", or \"off\" (default: $REPRO_NETSTORE)")
+		batch      = flag.String("batch", "", "lockstep batched execution: \"on\", \"off\", or width (default: $REPRO_BATCH)")
+
+		// Coordinator mode: the grid (cmd/sweep's vocabulary).
+		specPath = flag.String("spec", "", "JSON spec file (grid flags below are ignored when set)")
+		sizes    = flag.String("n", "256,512", "comma-separated network sizes")
+		degrees  = flag.String("d", "8", "comma-separated H-degrees")
+		deltas   = flag.String("delta", "0.75", "comma-separated fault exponents (0 = no faults)")
+		places   = flag.String("placement", "random", "comma-separated placements")
+		advs     = flag.String("adv", "none,inflate,suppress,oracle,topology-liar,chain-faker,combo", "comma-separated adversaries")
+		algs     = flag.String("alg", "byzantine", "comma-separated algorithms (basic|byzantine)")
+		epsilons = flag.String("eps", "0", "comma-separated error parameters")
+		churns   = flag.String("churn", "0", "comma-separated crash-churn fractions")
+		faults   = flag.String("fault", "crash", "comma-separated churn fault models (crash|join)")
+		joins    = flag.String("join", "0", "comma-separated join/rejoin churn fractions")
+		losses   = flag.String("loss", "0", "comma-separated message loss probabilities")
+		trials   = flag.Int("trials", 8, "trials per grid cell")
+		seed     = flag.Uint64("seed", 1, "base seed")
+
+		// Coordinator mode: the service.
+		storePath  = flag.String("store", "", "merged JSONL result store (required; enables resume)")
+		shards     = flag.Int("shards", 0, "content-key-range shard count (0 = default)")
+		lease      = flag.Duration("lease", 0, "lease TTL before a silent worker's shard reassigns (0 = default)")
+		httpAddr   = flag.String("http", ":9900", "coordinator listen address")
+		runlogPath = flag.String("runlog", "", "JSONL run-log path (default: <store>.runlog; \"off\" disables)")
+		telePath   = flag.String("telemetry", "", "write the final coordinator status (JSON) to this file")
+		format     = flag.String("format", "md", "aggregate output format: md | csv")
+		outPath    = flag.String("o", "", "write aggregates to this file (default: stdout)")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	// Either mode drains cleanly on SIGINT/SIGTERM: a worker abandons
+	// its shard (the lease reassigns), a coordinator writes sweep_end
+	// with aborted:true and leaves a resumable store. A second signal
+	// kills immediately.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+
+	if *workerURL != "" {
+		return runWorker(ctx, *workerURL, *name, *workers, *runWorkers, *cacheCap, *netstore, *batch)
+	}
+	return runCoordinator(ctx, coordinatorConfig{
+		specPath: *specPath, sizes: *sizes, degrees: *degrees, deltas: *deltas,
+		places: *places, advs: *advs, algs: *algs, epsilons: *epsilons,
+		churns: *churns, faults: *faults, joins: *joins, losses: *losses,
+		trials: *trials, seed: *seed,
+		storePath: *storePath, shards: *shards, lease: *lease,
+		httpAddr: *httpAddr, runlogPath: *runlogPath, telePath: *telePath,
+		format: *format, outPath: *outPath, quiet: *quiet,
+	})
+}
+
+func runWorker(ctx context.Context, url, name string, workers, runWorkers, cacheCap int, netstore, batch string) int {
+	opts := sweep.Options{Workers: workers, RunWorkers: runWorkers}
+	if netstore != "" {
+		ns, err := sweep.ResolveNetStore(netstore)
+		if err != nil {
+			return fail(err)
+		}
+		opts.Cache = sweep.NewNetCacheWithStore(cacheCap, ns)
+	} else if cacheCap != 0 {
+		opts.Cache = sweep.NewNetCache(cacheCap)
+	}
+	if batch != "" {
+		width, err := sweep.ResolveBatch(batch)
+		if err != nil {
+			return fail(err)
+		}
+		opts.Batch = width
+	}
+	w := sweepd.NewWorker(sweepd.WorkerOptions{
+		Coordinator: url,
+		Name:        name,
+		Opts:        opts,
+	})
+	fmt.Fprintf(os.Stderr, "worker %s -> %s\n", w.Name(), url)
+	if err := w.Run(ctx); err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "worker %s: aborted (%v), shard lease will reassign\n", w.Name(), err)
+			return 130
+		}
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "worker %s: sweep done (%d shards completed here)\n", w.Name(), w.ShardsCompleted())
+	return 0
+}
+
+type coordinatorConfig struct {
+	specPath, sizes, degrees, deltas, places, advs, algs, epsilons string
+	churns, faults, joins, losses                                  string
+	trials                                                         int
+	seed                                                           uint64
+	storePath                                                      string
+	shards                                                         int
+	lease                                                          time.Duration
+	httpAddr, runlogPath, telePath, format, outPath                string
+	quiet                                                          bool
+}
+
+func runCoordinator(ctx context.Context, cfg coordinatorConfig) int {
+	if cfg.storePath == "" {
+		return fail(fmt.Errorf("sweepd: coordinator needs -store (the merged result store)"))
+	}
+	var spec sweep.Spec
+	if cfg.specPath != "" {
+		var err error
+		spec, err = sweep.LoadSpec(cfg.specPath)
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		spec = sweep.Spec{
+			Name:        "cli",
+			Sizes:       parseInts(cfg.sizes),
+			Degrees:     parseInts(cfg.degrees),
+			Deltas:      parseFloats(cfg.deltas),
+			Placements:  splitList(cfg.places),
+			Adversaries: splitList(cfg.advs),
+			Algorithms:  splitList(cfg.algs),
+			Epsilons:    parseFloats(cfg.epsilons),
+			ChurnFracs:  parseFloats(cfg.churns),
+			FaultModels: splitList(cfg.faults),
+			JoinFracs:   parseFloats(cfg.joins),
+			LossProbs:   parseFloats(cfg.losses),
+			Trials:      cfg.trials,
+			Seed:        cfg.seed,
+		}
+	}
+	expandStart := time.Now()
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return fail(err)
+	}
+	expand := time.Since(expandStart)
+	fmt.Fprintf(os.Stderr, "spec %q: %d jobs\n", spec.Name, len(jobs))
+
+	store, err := sweep.OpenStore(cfg.storePath)
+	if err != nil {
+		return fail(err)
+	}
+	defer store.Close()
+	fmt.Fprintf(os.Stderr, "store %s: %d results on disk\n", cfg.storePath, store.Len())
+
+	logPath := cfg.runlogPath
+	if logPath == "" {
+		logPath = cfg.storePath + ".runlog"
+	}
+	var runlog *obs.RunLog
+	if logPath != "off" {
+		runlog, err = obs.OpenRunLog(logPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer runlog.Close()
+		fmt.Fprintf(os.Stderr, "run-log %s\n", logPath)
+	}
+
+	mon := sweep.NewMonitor(spec.Name, len(jobs), nil, nil)
+	mon.SetExpand(expand)
+	coord, err := sweepd.NewCoordinator(jobs, sweepd.Config{
+		Name:     spec.Name,
+		Store:    store,
+		Shards:   cfg.shards,
+		LeaseTTL: cfg.lease,
+		Monitor:  mon,
+		RunLog:   runlog,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	srv, err := obs.Serve(cfg.httpAddr, coord.Handler())
+	if err != nil {
+		return fail(err)
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "coordinator http://%s (claim/heartbeat/report/complete, /status)\n", srv.Addr())
+
+	if !cfg.quiet {
+		go progressLoop(ctx, coord)
+	}
+
+	aborted := false
+	select {
+	case <-coord.Done():
+	case <-ctx.Done():
+		coord.Abort()
+		aborted = true
+	}
+
+	writeStatus := func() {
+		if cfg.telePath == "" {
+			return
+		}
+		snap, err := json.MarshalIndent(coord.Status(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		if err := os.WriteFile(cfg.telePath, append(snap, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "wrote status snapshot %s\n", cfg.telePath)
+	}
+
+	if aborted {
+		writeStatus()
+		fmt.Fprintf(os.Stderr, "aborted; store %s has %d records, re-run to resume\n",
+			cfg.storePath, store.Len())
+		return 130
+	}
+
+	outs := coord.Outcomes()
+	ran, resumed := 0, 0
+	for _, o := range outs {
+		if o.FromStore {
+			resumed++
+		} else if o.Err == nil {
+			ran++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fleet ran %d, resumed %d, errors %d\n", ran, resumed, coord.Errors())
+	if ran > 0 {
+		fmt.Fprint(os.Stderr, mon.Breakdown())
+	}
+	writeStatus()
+
+	groups := sweep.Aggregate(outs)
+	var rendered string
+	switch cfg.format {
+	case "md":
+		rendered = sweep.Markdown(fmt.Sprintf("Sweep %s", spec.Name), groups)
+	case "csv":
+		rendered = sweep.CSV(groups)
+	default:
+		return fail(fmt.Errorf("unknown format %q (want md|csv)", cfg.format))
+	}
+	if cfg.outPath == "" {
+		fmt.Print(rendered)
+	} else {
+		if err := os.WriteFile(cfg.outPath, []byte(rendered), 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d cells)\n", cfg.outPath, len(groups))
+	}
+	if coord.Errors() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// progressLoop prints a heartbeat line while the fleet works.
+func progressLoop(ctx context.Context, coord *sweepd.Coordinator) {
+	t := time.NewTicker(2 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-coord.Done():
+			return
+		case <-t.C:
+			s := coord.Status()
+			fmt.Fprintf(os.Stderr, "[%d/%d] shards %d/%d done (%d active), %d workers alive\n",
+				s.Sweep.Done, s.Sweep.Total, s.Shards.Completed, s.Shards.Total,
+				s.Shards.Active, len(s.Workers))
+		}
+	}
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, err)
+	return 1
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad integer %q: %v\n", part, err)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad number %q: %v\n", part, err)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
+}

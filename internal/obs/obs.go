@@ -45,6 +45,25 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load returns the current count.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is an atomic point-in-time level — a value that goes up and
+// down, where Counter only grows. The sweepd coordinator reports worker
+// liveness through one: a counter of heartbeats says how busy workers
+// were, a gauge of unexpired leases says how many are alive now. The
+// zero value is ready to use; all methods are safe for concurrent use
+// and allocate nothing.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add shifts the level by n (negative n lowers it).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // Timer accumulates durations: total nanoseconds and observation count.
 // The zero value is ready to use; Observe is atomic and allocation-free.
 type Timer struct {
@@ -78,6 +97,7 @@ type TimerStat struct {
 // name→value maps, sorted implicitly by encoding/json's key ordering.
 type Snapshot struct {
 	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]int64     `json:"gauges,omitempty"`
 	Timers   map[string]TimerStat `json:"timers,omitempty"`
 }
 
@@ -88,6 +108,7 @@ type Snapshot struct {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	timers   map[string]*Timer
 }
 
@@ -100,6 +121,7 @@ var Default = NewRegistry()
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		timers:   make(map[string]*Timer),
 	}
 }
@@ -116,6 +138,19 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. The returned pointer is stable for the registry's lifetime.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Timer returns the timer registered under name, creating it on first
@@ -155,6 +190,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Counters = make(map[string]int64, len(r.counters))
 		for name, c := range r.counters {
 			s.Counters[name] = c.Load()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Load()
 		}
 	}
 	if len(r.timers) > 0 {

@@ -297,6 +297,14 @@ func TestRunLogLifecycle(t *testing.T) {
 	if count["sweep_start"] != 1 || count["sweep_end"] != 1 {
 		t.Fatalf("sweep bookends = %+v", count)
 	}
+	// The log must open with sweep_start and close with sweep_end — a
+	// reader tailing the file keys its lifecycle off the first line.
+	if len(events) == 0 || events[0].Event != "sweep_start" {
+		t.Fatalf("first event = %v, want sweep_start", events[0].Event)
+	}
+	if last := events[len(events)-1].Event; last != "sweep_end" {
+		t.Fatalf("last event = %v, want sweep_end", last)
+	}
 	if count["job_start"] != len(jobs) || count["job_done"] != len(jobs) {
 		t.Fatalf("job events = %+v, want %d each", count, len(jobs))
 	}
@@ -344,6 +352,16 @@ func TestRunLogLifecycle(t *testing.T) {
 	}
 	if count2["job_skip"] != len(jobs) || count2["job_start"] != 0 {
 		t.Fatalf("resume events = %+v, want %d skips and no starts", count2, len(jobs))
+	}
+	// Regression: skips are resolved before the pool spins up, but they
+	// must still be LOGGED after sweep_start — the runner buffers them.
+	if events2[0].Event != "sweep_start" {
+		t.Fatalf("resume log opens with %v, want sweep_start", events2[0].Event)
+	}
+	for i := 1; i <= len(jobs); i++ {
+		if events2[i].Event != "job_skip" {
+			t.Fatalf("resume event %d = %v, want job_skip", i, events2[i].Event)
+		}
 	}
 }
 

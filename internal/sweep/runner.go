@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -167,19 +168,33 @@ func (o Options) withDefaults() Options {
 // opts.Band, and (with a store) is persisted as it completes. The first
 // job error, in job order, is returned alongside the full outcome slice.
 func Run(jobs []Job, opts Options) ([]Outcome, error) {
+	return RunContext(context.Background(), jobs, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled mid-sweep,
+// no new work items are dispatched, in-flight jobs drain to completion
+// (their results are persisted as usual), every job that never started is
+// marked with ctx's error, and the run-log's sweep_end carries
+// "aborted": true. The returned error wraps ctx.Err() — callers detect
+// an abort with errors.Is(err, context.Canceled) — so an interrupted
+// sweep still hands back every Outcome it produced, and a later run with
+// the same store resumes exactly past the drained jobs.
+func RunContext(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 	opts = opts.withDefaults()
 	outs := make([]Outcome, len(jobs))
 	sweepStart := time.Now()
 
 	// Resolve store hits up front so the worker loop only sees real work.
+	// Skip events are buffered and emitted after sweep_start: run-log
+	// readers see the sweep open before any of its per-job lifecycle
+	// lines, no matter how many jobs the store resolves.
 	var pending []int
+	var skipped []int
 	for i, j := range jobs {
 		if opts.Store != nil {
 			if rec, ok := opts.Store.Lookup(j.Key()); ok {
 				outs[i] = Outcome{Job: j, Summary: rec.Summary, FromStore: true, Worker: -1}
-				_ = opts.RunLog.Event("job_skip", map[string]any{
-					"key": rec.Key, "label": j.Label(),
-				})
+				skipped = append(skipped, i)
 				continue
 			}
 		}
@@ -190,6 +205,11 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 		"resumed": len(jobs) - len(pending), "workers": opts.Workers,
 		"batch": opts.Batch,
 	})
+	for _, i := range skipped {
+		_ = opts.RunLog.Event("job_skip", map[string]any{
+			"key": jobs[i].Key(), "label": jobs[i].Label(),
+		})
+	}
 
 	var (
 		progressMu sync.Mutex
@@ -220,6 +240,11 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 	// the scalar engine.
 	items := batchPlan(jobs, pending, opts)
 
+	// executed marks jobs a worker actually picked up; each index is
+	// written by exactly one worker before wg.Wait, so the post-drain
+	// scan below is race-free.
+	executed := make([]bool, len(jobs))
+
 	work := make(chan []int)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
@@ -242,6 +267,7 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 			}()
 			for item := range work {
 				for _, i := range item {
+					executed[i] = true
 					_ = opts.RunLog.Event("job_start", map[string]any{
 						"key": jobs[i].Key(), "label": jobs[i].Label(), "worker": worker,
 						"lanes": len(item),
@@ -278,22 +304,55 @@ func Run(jobs []Job, opts Options) ([]Outcome, error) {
 			}
 		}(w)
 	}
+	// Feed items until the list is exhausted or the context is canceled:
+	// cancellation stops dispatch, in-flight items drain (their results
+	// land in the store as usual), and the remainder is marked below.
+feed:
 	for _, item := range items {
-		work <- item
+		select {
+		case work <- item:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
 
+	aborted := ctx.Err() != nil
+	ran := 0
+	if aborted {
+		for _, i := range pending {
+			if executed[i] {
+				ran++
+				continue
+			}
+			outs[i] = Outcome{Job: jobs[i], Err: ctx.Err(), Worker: -1}
+		}
+	} else {
+		ran = len(pending)
+	}
+
+	// errs counts failures of jobs that actually ran; abandoned jobs are
+	// accounted separately so an abort doesn't read as a pile of errors.
 	errs := 0
-	for i := range outs {
-		if outs[i].Err != nil {
+	for _, i := range pending {
+		if executed[i] && outs[i].Err != nil {
 			errs++
 		}
 	}
-	_ = opts.RunLog.Event("sweep_end", map[string]any{
-		"ran": len(pending), "resumed": len(jobs) - len(pending), "errors": errs,
+	end := map[string]any{
+		"ran": ran, "resumed": len(jobs) - len(pending), "errors": errs,
 		"elapsed_ms": float64(time.Since(sweepStart).Microseconds()) / 1000,
-	})
+	}
+	if aborted {
+		end["aborted"] = true
+		end["abandoned"] = len(pending) - ran
+	}
+	_ = opts.RunLog.Event("sweep_end", end)
+	if aborted {
+		return outs, fmt.Errorf("sweep: aborted after %d of %d pending jobs: %w",
+			ran, len(pending), ctx.Err())
+	}
 	for i := range outs {
 		if outs[i].Err != nil {
 			return outs, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Label(), outs[i].Err)

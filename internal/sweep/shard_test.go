@@ -1,0 +1,168 @@
+package sweep
+
+// Tests for the sharding primitives (PartitionByKey lives under
+// internal/sweepd's end-to-end tests too) and the crash-safety store
+// additions: MergeStores dedup, Sync/SyncEvery, and RunContext's abort
+// drain.
+
+import (
+	"context"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMergeStores folds two overlapping shard stores into a destination
+// that already holds part of the grid: every key lands exactly once,
+// overlaps are skipped, and a reload sees the union.
+func TestMergeStores(t *testing.T) {
+	jobs, err := testSpec().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	open := func(name string) *Store {
+		s, err := OpenStore(dir + "/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	put := func(s *Store, idxs ...int) {
+		for _, i := range idxs {
+			if err := s.Put(Record{Key: jobs[i].Key(), Job: jobs[i]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	dst := open("dst.jsonl")
+	put(dst, 0, 1)
+	dst.Close()
+	srcA := open("a.jsonl")
+	put(srcA, 1, 2, 3) // 1 overlaps dst
+	srcA.Close()
+	srcB := open("b.jsonl")
+	put(srcB, 3, 4) // 3 overlaps srcA
+	srcB.Close()
+
+	added, err := MergeStores(dir+"/dst.jsonl", dir+"/a.jsonl", dir+"/b.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 3 { // 2, 3, 4
+		t.Fatalf("merged %d records, want 3", added)
+	}
+	merged := open("dst.jsonl")
+	defer merged.Close()
+	if merged.Len() != 5 {
+		t.Fatalf("merged store holds %d keys, want 5", merged.Len())
+	}
+	for i := 0; i <= 4; i++ {
+		if _, ok := merged.Lookup(jobs[i].Key()); !ok {
+			t.Fatalf("job %d missing after merge", i)
+		}
+	}
+	// Dedup happened at merge time, not just reload time: one line per key.
+	raw, err := os.ReadFile(dir + "/dst.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(raw), "\n"); lines != 5 {
+		t.Fatalf("merged file has %d lines, want 5", lines)
+	}
+}
+
+// TestStoreSync pins the durability knobs: Sync succeeds on a live
+// store, SyncEvery survives a stretch of Puts, and records written
+// under periodic fsync reload intact.
+func TestStoreSync(t *testing.T) {
+	jobs, err := testSpec().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/results.jsonl"
+	store, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SyncEvery(2)
+	for _, j := range jobs {
+		if err := store.Put(Record{Key: j.Key(), Job: j}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if again.Len() != len(jobs) {
+		t.Fatalf("reloaded %d records, want %d", again.Len(), len(jobs))
+	}
+}
+
+// TestRunContextAbort cancels a sweep mid-flight: Run returns a
+// context error, in-flight jobs drain (their outcomes are real), the
+// never-started remainder is marked with the context's error, and the
+// run-log's sweep_end carries aborted:true.
+func TestRunContextAbort(t *testing.T) {
+	jobs, err := testSpec().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var fired atomic.Bool
+	var logBuf strings.Builder
+	opts := Options{
+		Workers: 1, // serial: cancel after the first job leaves the rest unfed
+		RunLog:  obs.NewRunLog(&logBuf),
+		Progress: func(done, total int, out Outcome) {
+			if fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		},
+	}
+	outs, err := RunContext(ctx, jobs, opts)
+	if err == nil || ctx.Err() == nil {
+		t.Fatalf("aborted run returned err=%v", err)
+	}
+	ran, abandoned := 0, 0
+	for _, o := range outs {
+		switch {
+		case o.Err == nil && o.Worker >= 0:
+			ran++
+		case o.Err != nil && o.Worker == -1:
+			abandoned++
+		default:
+			t.Fatalf("outcome neither ran nor abandoned: %+v", o)
+		}
+	}
+	if ran == 0 || abandoned == 0 || ran+abandoned != len(jobs) {
+		t.Fatalf("ran %d, abandoned %d of %d", ran, abandoned, len(jobs))
+	}
+	events, err := obs.ReadRunLog(strings.NewReader(logBuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := events[len(events)-1]
+	if last.Event != "sweep_end" {
+		t.Fatalf("last event = %v, want sweep_end", last.Event)
+	}
+	if last.Fields["aborted"] != true {
+		t.Fatalf("sweep_end fields = %v, want aborted:true", last.Fields)
+	}
+	if got := int(last.Fields["abandoned"].(float64)); got != abandoned {
+		t.Fatalf("sweep_end abandoned = %d, counted %d", got, abandoned)
+	}
+}

@@ -31,11 +31,22 @@ type Record struct {
 // appends start on a clean line boundary — recovering the record if the
 // kill landed exactly between it and its newline. FuzzStoreReopen drives
 // this repair path with arbitrary file contents.
+// Durability: each Put is one O_APPEND write, which survives a process
+// crash but sits in the page cache until the kernel flushes it — a
+// machine crash can lose records the process already reported durable.
+// Close syncs before closing, Sync forces a flush on demand (sweepd's
+// coordinator syncs before acking a shard complete), and SyncEvery opts
+// into a periodic fsync every n appends for long-running writers.
 type Store struct {
 	mu   sync.Mutex
 	f    *os.File
 	have map[string]Record
 	path string
+
+	// syncEvery > 0 fsyncs after every syncEvery-th Put; sinceSync counts
+	// appends since the last flush.
+	syncEvery int
+	sinceSync int
 }
 
 // OpenStore opens (creating if absent) the JSONL store at path and
@@ -106,6 +117,42 @@ func (s *Store) Put(rec Record) error {
 		return fmt.Errorf("sweep: append record: %w", err)
 	}
 	s.have[rec.Key] = rec
+	if s.syncEvery > 0 {
+		s.sinceSync++
+		if s.sinceSync >= s.syncEvery {
+			s.sinceSync = 0
+			if err := s.f.Sync(); err != nil {
+				return fmt.Errorf("sweep: sync store: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// SyncEvery opts into a periodic fsync: every n-th Put flushes the file
+// to stable storage (n <= 0 disables, the default). The record a failing
+// Sync reports on is already appended and indexed — the error is about
+// durability, not loss of the in-process state.
+func (s *Store) SyncEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncEvery = n
+	s.sinceSync = 0
+}
+
+// Sync flushes appended records to stable storage. A store that has
+// acknowledged work to a remote caller (the sweepd coordinator acking a
+// shard) syncs first, so a machine crash cannot lose records a worker
+// was told are durable.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: sync store: %w", err)
+	}
 	return nil
 }
 
@@ -119,14 +166,19 @@ func (s *Store) Len() int {
 // Path returns the backing file path.
 func (s *Store) Path() string { return s.path }
 
-// Close flushes and closes the backing file.
+// Close syncs and closes the backing file: records handed to Put are on
+// stable storage once Close returns, not just in the page cache.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
 		return nil
 	}
+	syncErr := s.f.Sync()
 	err := s.f.Close()
 	s.f = nil
+	if err == nil {
+		err = syncErr
+	}
 	return err
 }

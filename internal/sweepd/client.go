@@ -1,0 +1,109 @@
+package sweepd
+
+// client.go is the coordinator-call layer every worker request goes
+// through: JSON POST with a retry budget, exponential backoff, and
+// jitter. Transient failures — connection refused, timeouts, 5xx — are
+// retried; HTTP 409 maps to ErrLeaseLost and any other 4xx to a
+// permanent error, both surfaced immediately. Jitter decorrelates a
+// fleet of workers that all lost the same coordinator at the same
+// moment; it deliberately uses math/rand, not the simulation's seeded
+// streams — scheduling noise must never touch result determinism.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+type client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// isLeaseLost reports whether err (possibly wrapped) is a lease loss.
+func isLeaseLost(err error) bool { return errors.Is(err, ErrLeaseLost) }
+
+// jitter scales d by a uniform factor in [0.5, 1.5).
+func (c *client) jitter(d time.Duration) time.Duration {
+	c.mu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	f := 0.5 + c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// post sends in as JSON to path and decodes the response into out,
+// retrying transient failures with exponential backoff + jitter. The
+// context bounds the whole call including backoff sleeps.
+func (c *client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("sweepd: marshal %s request: %w", path, err)
+	}
+	url := strings.TrimRight(c.base, "/") + path
+	delay := c.backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.jitter(delay)):
+			}
+			delay *= 2
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		msg, status := drain(resp)
+		switch {
+		case status == http.StatusOK:
+			if out == nil {
+				return nil
+			}
+			if err := json.Unmarshal(msg, out); err != nil {
+				return fmt.Errorf("sweepd: decode %s response: %w", path, err)
+			}
+			return nil
+		case status == http.StatusConflict:
+			return fmt.Errorf("%w: %s", ErrLeaseLost, strings.TrimSpace(string(msg)))
+		case status >= 400 && status < 500:
+			return fmt.Errorf("sweepd: %s: %s (%d)", path, strings.TrimSpace(string(msg)), status)
+		default:
+			lastErr = fmt.Errorf("sweepd: %s: %s (%d)", path, strings.TrimSpace(string(msg)), status)
+		}
+	}
+	return fmt.Errorf("sweepd: %s failed after %d attempts: %w", path, c.retries+1, lastErr)
+}
+
+// drain reads and closes the response body (keep-alive hygiene).
+func drain(resp *http.Response) ([]byte, int) {
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return b, resp.StatusCode
+}

@@ -1,0 +1,160 @@
+package sweepd
+
+// Lease-table tests run against an injected clock: expiry and
+// reassignment are pinned without a single sleep.
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	t time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestLeaseClaimAssignsLowestShard(t *testing.T) {
+	clk := newFakeClock()
+	lt := newLeaseTable(3, time.Minute, clk.Now)
+
+	shard, tok, reassigned, ok := lt.Claim("a")
+	if !ok || shard != 0 || reassigned {
+		t.Fatalf("first claim = (%d, %v, %v), want shard 0 fresh", shard, reassigned, ok)
+	}
+	shard2, tok2, _, ok := lt.Claim("b")
+	if !ok || shard2 != 1 {
+		t.Fatalf("second claim = shard %d, want 1", shard2)
+	}
+	if tok == tok2 {
+		t.Fatal("two live leases share a token")
+	}
+	if _, _, _, ok := lt.Claim("c"); !ok {
+		t.Fatal("third shard should be claimable")
+	}
+	if _, _, _, ok := lt.Claim("d"); ok {
+		t.Fatal("claim succeeded with every shard leased and live")
+	}
+}
+
+func TestLeaseExpiryReassigns(t *testing.T) {
+	clk := newFakeClock()
+	ttl := time.Minute
+	lt := newLeaseTable(1, ttl, clk.Now)
+
+	shard, tok, _, ok := lt.Claim("dead")
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	// One tick short of expiry the lease holds; the shard is not claimable.
+	clk.Advance(ttl)
+	if err := lt.Renew("dead", shard, tok); err != nil {
+		t.Fatalf("renew at exactly TTL: %v", err)
+	}
+	if _, _, _, ok := lt.Claim("vulture"); ok {
+		t.Fatal("live lease was stolen")
+	}
+
+	// Past expiry the shard reassigns under a fresh token, and the old
+	// token is fenced out of every later call.
+	clk.Advance(ttl + time.Second)
+	shard2, tok2, reassigned, ok := lt.Claim("heir")
+	if !ok || shard2 != shard || !reassigned {
+		t.Fatalf("expired claim = (%d, %v, %v), want shard %d reassigned", shard2, reassigned, ok, shard)
+	}
+	if tok2 == tok {
+		t.Fatal("reassigned lease reused the dead worker's token")
+	}
+	if err := lt.Renew("dead", shard, tok); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale renew = %v, want ErrLeaseLost", err)
+	}
+	if err := lt.Complete("dead", shard, tok); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale complete = %v, want ErrLeaseLost", err)
+	}
+	// The heir's token still works.
+	if err := lt.Complete("heir", shard2, tok2); err != nil {
+		t.Fatalf("heir complete: %v", err)
+	}
+	if !lt.Done() {
+		t.Fatal("single shard completed but table not done")
+	}
+}
+
+func TestLeaseRenewExtends(t *testing.T) {
+	clk := newFakeClock()
+	ttl := time.Minute
+	lt := newLeaseTable(1, ttl, clk.Now)
+
+	shard, tok, _, _ := lt.Claim("w")
+	// Keep renewing at half-TTL strides: the lease never expires even
+	// far past the original horizon.
+	for i := 0; i < 10; i++ {
+		clk.Advance(ttl / 2)
+		if err := lt.Renew("w", shard, tok); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	if _, _, _, ok := lt.Claim("vulture"); ok {
+		t.Fatal("renewed lease was stolen")
+	}
+	// Stop renewing: it expires on schedule.
+	clk.Advance(ttl + time.Second)
+	if err := lt.Renew("w", shard, tok); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("renew after silence = %v, want ErrLeaseLost", err)
+	}
+}
+
+func TestLeaseExpiredCompleteRefused(t *testing.T) {
+	clk := newFakeClock()
+	ttl := time.Minute
+	lt := newLeaseTable(1, ttl, clk.Now)
+
+	shard, tok, _, _ := lt.Claim("slow")
+	clk.Advance(ttl + time.Second)
+	// The worker finished its jobs but its lease already lapsed — the
+	// complete must be refused even though no one else claimed yet,
+	// because the shard is claimable and a double-complete would follow.
+	if err := lt.Complete("slow", shard, tok); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("expired complete = %v, want ErrLeaseLost", err)
+	}
+	if lt.Done() {
+		t.Fatal("table done after refused complete")
+	}
+}
+
+func TestLeaseCountsAndLiveness(t *testing.T) {
+	clk := newFakeClock()
+	ttl := time.Minute
+	lt := newLeaseTable(3, ttl, clk.Now)
+
+	s0, t0, _, _ := lt.Claim("a")
+	lt.Claim("b")
+	if p, a, d := lt.Counts(); p != 1 || a != 2 || d != 0 {
+		t.Fatalf("counts = (%d, %d, %d), want (1, 2, 0)", p, a, d)
+	}
+	if err := lt.Complete("a", s0, t0); err != nil {
+		t.Fatal(err)
+	}
+	if p, a, d := lt.Counts(); p != 1 || a != 1 || d != 1 {
+		t.Fatalf("counts = (%d, %d, %d), want (1, 1, 1)", p, a, d)
+	}
+	if lt.Alive() != 2 {
+		t.Fatalf("alive = %d, want 2", lt.Alive())
+	}
+	// b goes silent past the TTL: its shard counts as pending again and
+	// it drops off the liveness tally.
+	clk.Advance(ttl + time.Second)
+	if p, a, d := lt.Counts(); p != 2 || a != 0 || d != 1 {
+		t.Fatalf("counts after expiry = (%d, %d, %d), want (2, 0, 1)", p, a, d)
+	}
+	if lt.Alive() != 0 {
+		t.Fatalf("alive after silence = %d, want 0", lt.Alive())
+	}
+}

@@ -1,0 +1,310 @@
+package sweepd
+
+// The package's one invariant, tested end to end: a sharded fleet's
+// aggregates are byte-identical to a single-process sweep of the same
+// grid — for any shard count, any worker count, and across a worker
+// death mid-shard (with the dead worker's partial results deduplicated,
+// not recomputed into divergence). The coordinator runs over
+// net/http/httptest; workers are real Worker loops; the dead worker is
+// simulated by hand so the test controls exactly what it reported
+// before "dying", and lease expiry rides the injected clock.
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+func testJobs(t *testing.T) []sweep.Job {
+	t.Helper()
+	spec := sweep.Spec{
+		Name:        "dist",
+		Sizes:       []int{64, 128},
+		Deltas:      []float64{0, 0.75},
+		Adversaries: []string{"none", "inflate"},
+		Trials:      2,
+		Seed:        7,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// baseline runs the grid single-process and returns its outcomes and
+// rendered aggregates — the byte-identity reference.
+func baseline(t *testing.T, jobs []sweep.Job) ([]sweep.Outcome, string) {
+	t.Helper()
+	outs, err := sweep.Run(jobs, sweep.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs, sweep.Markdown("Sweep dist", sweep.Aggregate(outs))
+}
+
+// runFleet drives a coordinator over httptest with n concurrent workers
+// until the sweep completes, and returns the coordinator for
+// inspection.
+func runFleet(t *testing.T, coord *Coordinator, workers int) {
+	t.Helper()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		w := NewWorker(WorkerOptions{
+			Coordinator: srv.URL,
+			Name:        string(rune('a' + i)),
+			Opts:        sweep.Options{Workers: 2},
+			Poll:        20 * time.Millisecond,
+		})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Run(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if !coord.Finished() {
+		t.Fatal("fleet drained but coordinator not finished")
+	}
+}
+
+// TestShardedAggregatesByteIdentical is the headline invariance matrix:
+// shard counts 1, 2, 4 × worker counts 1, 2 all reproduce the
+// single-process aggregates byte for byte, and every per-job Summary
+// matches exactly.
+func TestShardedAggregatesByteIdentical(t *testing.T) {
+	jobs := testJobs(t)
+	baseOuts, baseMD := baseline(t, jobs)
+
+	for _, tc := range []struct{ shards, workers int }{
+		{1, 1}, {2, 2}, {4, 2},
+	} {
+		store, err := sweep.OpenStore(t.TempDir() + "/results.jsonl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord, err := NewCoordinator(jobs, Config{
+			Name:      "dist",
+			Store:     store,
+			Shards:    tc.shards,
+			LeaseTTL:  time.Minute,
+			Telemetry: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runFleet(t, coord, tc.workers)
+
+		outs := coord.Outcomes()
+		if md := sweep.Markdown("Sweep dist", sweep.Aggregate(outs)); md != baseMD {
+			t.Fatalf("shards=%d workers=%d: aggregates diverged from single-process run:\n%s\nvs\n%s",
+				tc.shards, tc.workers, md, baseMD)
+		}
+		for i := range outs {
+			if !reflect.DeepEqual(outs[i].Summary, baseOuts[i].Summary) {
+				t.Fatalf("shards=%d workers=%d: job %d summary diverged", tc.shards, tc.workers, i)
+			}
+		}
+		if n := store.Len(); n != len(jobs) {
+			t.Fatalf("shards=%d workers=%d: store holds %d records, want %d", tc.shards, tc.workers, n, len(jobs))
+		}
+		if err := store.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWorkerDeathMidShard kills a worker after it reported part of a
+// shard: the lease expires (fake clock), the shard reassigns, the
+// replacements recompute only the unreported jobs, the dead worker's
+// re-sent records count as duplicates — and the aggregates still match
+// the single-process run byte for byte.
+func TestWorkerDeathMidShard(t *testing.T) {
+	jobs := testJobs(t)
+	baseOuts, baseMD := baseline(t, jobs)
+
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	store, err := sweep.OpenStore(t.TempDir() + "/results.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ttl := time.Minute
+	coord, err := NewCoordinator(jobs, Config{
+		Name:      "dist",
+		Store:     store,
+		Shards:    4,
+		LeaseTTL:  ttl,
+		Telemetry: reg,
+		clock:     clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker claims a shard, computes and reports exactly one
+	// job, re-sends the same report (a retry after a flaky ack), then
+	// goes silent forever.
+	resp := coord.claim("doomed")
+	if resp.Shard == nil {
+		t.Fatal("doomed worker got no shard")
+	}
+	shard := resp.Shard
+	firstJob := shard.Jobs[0]
+	partial, err := sweep.Run([]sweep.Job{firstJob}, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := ReportRequest{
+		Worker: "doomed", Shard: shard.ID, Lease: shard.Lease,
+		Records: []sweep.Record{{
+			Key: firstJob.Key(), Job: firstJob, Summary: partial[0].Summary,
+		}},
+	}
+	if rr, err := coord.report(report); err != nil || rr.Accepted != 1 {
+		t.Fatalf("first report = (%+v, %v), want 1 accepted", rr, err)
+	}
+	if rr, err := coord.report(report); err != nil || rr.Duplicates != 1 {
+		t.Fatalf("duplicate report = (%+v, %v), want 1 duplicate", rr, err)
+	}
+
+	// Death: no heartbeats past the TTL. The survivors' clocks are the
+	// same fake — static from here on, so their own leases never lapse.
+	clk.Advance(ttl + time.Second)
+
+	runFleet(t, coord, 2)
+
+	outs := coord.Outcomes()
+	if md := sweep.Markdown("Sweep dist", sweep.Aggregate(outs)); md != baseMD {
+		t.Fatalf("aggregates diverged after worker death:\n%s\nvs\n%s", md, baseMD)
+	}
+	for i := range outs {
+		if !reflect.DeepEqual(outs[i].Summary, baseOuts[i].Summary) {
+			t.Fatalf("job %d summary diverged after worker death", i)
+		}
+	}
+	if n := store.Len(); n != len(jobs) {
+		t.Fatalf("store holds %d records, want %d (no duplicate appends)", n, len(jobs))
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["sweepd.shards.reassigned"] < 1 {
+		t.Fatalf("no reassignment recorded: %+v", snap.Counters)
+	}
+	if snap.Counters["sweepd.records.duplicate"] < 1 {
+		t.Fatalf("no duplicate recorded: %+v", snap.Counters)
+	}
+	st := coord.Status()
+	if st.Shards.Completed != st.Shards.Total {
+		t.Fatalf("shard tally = %+v, want all completed", st.Shards)
+	}
+}
+
+// TestCoordinatorResume re-opens a completed sweep's store: every job
+// resolves as a store hit, the coordinator is born finished, no worker
+// ever runs, and the aggregates still match byte for byte.
+func TestCoordinatorResume(t *testing.T) {
+	jobs := testJobs(t)
+	_, baseMD := baseline(t, jobs)
+
+	dir := t.TempDir()
+	store, err := sweep.OpenStore(dir + "/results.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(jobs, Config{
+		Name: "dist", Store: store, Shards: 2, Telemetry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFleet(t, coord, 1)
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := sweep.OpenStore(dir + "/results.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	coord2, err := NewCoordinator(jobs, Config{
+		Name: "dist", Store: store2, Shards: 2, Telemetry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-coord2.Done():
+	default:
+		t.Fatal("fully resumed coordinator not born finished")
+	}
+	outs := coord2.Outcomes()
+	for i, o := range outs {
+		if !o.FromStore {
+			t.Fatalf("job %d not resumed from store", i)
+		}
+	}
+	if md := sweep.Markdown("Sweep dist", sweep.Aggregate(outs)); md != baseMD {
+		t.Fatal("resumed aggregates diverged")
+	}
+}
+
+// TestPartitionByKey pins the sharding function: every pending index
+// appears in exactly one shard, shards are internally in expansion
+// order, no shard is empty, and the split is stable across calls.
+func TestPartitionByKey(t *testing.T) {
+	jobs := testJobs(t)
+	pending := make([]int, len(jobs))
+	for i := range pending {
+		pending[i] = i
+	}
+	for _, shards := range []int{1, 3, 4, 100} {
+		parts := sweep.PartitionByKey(jobs, pending, shards)
+		if len(parts) > shards {
+			t.Fatalf("shards=%d: got %d parts", shards, len(parts))
+		}
+		seen := map[int]bool{}
+		for _, part := range parts {
+			if len(part) == 0 {
+				t.Fatalf("shards=%d: empty shard", shards)
+			}
+			for k := 1; k < len(part); k++ {
+				if part[k-1] >= part[k] {
+					t.Fatalf("shards=%d: shard not in expansion order: %v", shards, part)
+				}
+			}
+			for _, i := range part {
+				if seen[i] {
+					t.Fatalf("shards=%d: index %d in two shards", shards, i)
+				}
+				seen[i] = true
+			}
+		}
+		if len(seen) != len(pending) {
+			t.Fatalf("shards=%d: %d of %d indices covered", shards, len(seen), len(pending))
+		}
+		again := sweep.PartitionByKey(jobs, pending, shards)
+		if !reflect.DeepEqual(parts, again) {
+			t.Fatalf("shards=%d: partition not deterministic", shards)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package sweepd
+
+// worker.go is the client side: a Worker claims shards, runs them
+// through the unchanged sweep scheduler (per-worker arenas, batch
+// planner, netstore disk tier — sweep.Options carries all of it), and
+// streams each finished job's Record back as it completes while a
+// heartbeat keeps the lease alive through long jobs. Losing the lease
+// (HTTP 409 on any call) cancels the shard's context, which drains
+// exactly like a Ctrl-C'd cmd/sweep — in-flight jobs finish and report,
+// the rest are abandoned for whichever worker holds the lease now.
+// Every coordinator call retries transient failures under exponential
+// backoff with jitter; only a lease loss and a context cancellation are
+// terminal.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Name identifies this worker in leases, /status, and run-logs
+	// ("" derives host.pid).
+	Name string
+	// Opts is the local execution configuration — Workers, RunWorkers,
+	// Batch, Cache, Telemetry, RunLog all apply per shard. Store and
+	// Progress are owned by the worker loop (results belong to the
+	// coordinator's store).
+	Opts sweep.Options
+	// Client is the HTTP client (nil: 30 s timeout).
+	Client *http.Client
+	// Retries is how many times a transient coordinator failure is
+	// retried per call (0: 5).
+	Retries int
+	// Backoff is the first retry delay, doubled per attempt with ±50%
+	// jitter (0: 200 ms).
+	Backoff time.Duration
+	// Poll is the idle claim interval when the server sends no hint
+	// (0: 500 ms).
+	Poll time.Duration
+
+	// OnOutcome, when non-nil, observes every job outcome the worker
+	// produces, before it is reported (tests and progress displays).
+	OnOutcome func(sweep.Outcome)
+}
+
+// Worker runs the claim/run/report loop against one coordinator.
+type Worker struct {
+	o  WorkerOptions
+	c  *client
+	mu sync.Mutex
+	// shardsRun counts shards this worker completed (tests).
+	shardsRun int
+}
+
+// NewWorker builds a worker; see WorkerOptions for defaults.
+func NewWorker(o WorkerOptions) *Worker {
+	if o.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		o.Name = fmt.Sprintf("%s.%d", host, os.Getpid())
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.Retries <= 0 {
+		o.Retries = 5
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 200 * time.Millisecond
+	}
+	if o.Poll <= 0 {
+		o.Poll = 500 * time.Millisecond
+	}
+	return &Worker{o: o, c: &client{
+		base:    o.Coordinator,
+		hc:      o.Client,
+		retries: o.Retries,
+		backoff: o.Backoff,
+	}}
+}
+
+// Name returns the worker's lease identity.
+func (w *Worker) Name() string { return w.o.Name }
+
+// ShardsCompleted returns how many shards this worker has completed.
+func (w *Worker) ShardsCompleted() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.shardsRun
+}
+
+// Run claims and executes shards until the coordinator reports the
+// sweep done (returns nil), ctx is canceled (returns ctx's error after
+// draining the current shard), or the coordinator becomes unreachable
+// past the retry budget.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var resp ClaimResponse
+		if err := w.c.post(ctx, "/claim", ClaimRequest{Worker: w.o.Name}, &resp); err != nil {
+			return fmt.Errorf("sweepd: claim: %w", err)
+		}
+		switch {
+		case resp.Done:
+			return nil
+		case resp.Shard == nil:
+			wait := w.o.Poll
+			if resp.RetryMS > 0 {
+				wait = time.Duration(resp.RetryMS) * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+		default:
+			if err := w.runShard(ctx, resp.Shard); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// runShard executes one claimed shard. Lease loss is not an error — the
+// shard is abandoned mid-drain and the loop claims again; only ctx
+// cancellation and unreachable-coordinator failures propagate.
+func (w *Worker) runShard(ctx context.Context, shard *ShardClaim) error {
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var lost atomic.Bool
+	abandon := func(err error) {
+		if isLeaseLost(err) {
+			lost.Store(true)
+			cancel()
+		}
+	}
+
+	// Heartbeat at a third of the TTL: two beats may be lost before the
+	// lease expires. Reports renew too; this covers jobs longer than
+	// the TTL.
+	hbEvery := time.Duration(shard.LeaseMS) * time.Millisecond / 3
+	if hbEvery <= 0 {
+		hbEvery = time.Second
+	}
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(hbEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-shardCtx.Done():
+				return
+			case <-t.C:
+				err := w.c.post(shardCtx, "/heartbeat", HeartbeatRequest{
+					Worker: w.o.Name, Shard: shard.ID, Lease: shard.Lease,
+				}, &OKResponse{})
+				if err != nil {
+					abandon(err)
+				}
+			}
+		}
+	}()
+
+	// Streaming sender: outcomes queue as the scheduler's serial
+	// Progress callback fires; the sender drains the queue greedily, so
+	// one report carries however many jobs finished while the previous
+	// report was in flight.
+	outcomes := make(chan sweep.Outcome, len(shard.Jobs))
+	var sendWG sync.WaitGroup
+	sendWG.Add(1)
+	go func() {
+		defer sendWG.Done()
+		for out := range outcomes {
+			batch := []sweep.Outcome{out}
+		drain:
+			for {
+				select {
+				case more, ok := <-outcomes:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, more)
+				default:
+					break drain
+				}
+			}
+			req := ReportRequest{Worker: w.o.Name, Shard: shard.ID, Lease: shard.Lease}
+			for _, o := range batch {
+				if o.Err != nil {
+					req.Errors = append(req.Errors, JobError{
+						Key: o.Job.Key(), Label: o.Job.Label(), Error: o.Err.Error(),
+					})
+					continue
+				}
+				req.Records = append(req.Records, sweep.Record{
+					Key:     o.Job.Key(),
+					Job:     o.Job,
+					Summary: o.Summary,
+					ElapsedMS: float64((o.Stages.CacheLookup + o.Stages.Run +
+						o.Stages.Aggregate).Microseconds()) / 1000,
+				})
+			}
+			// Report outside shardCtx: a drained in-flight job's record
+			// is still worth delivering after a local cancel (though not
+			// after a lease loss — the coordinator refuses it anyway).
+			if err := w.c.post(ctx, "/report", req, &ReportResponse{}); err != nil {
+				abandon(err)
+			}
+		}
+	}()
+
+	opts := w.o.Opts
+	opts.Store = nil
+	opts.Progress = func(done, total int, out sweep.Outcome) {
+		if w.o.OnOutcome != nil {
+			w.o.OnOutcome(out)
+		}
+		outcomes <- out
+	}
+	_, runErr := sweep.RunContext(shardCtx, shard.Jobs, opts)
+
+	close(outcomes)
+	sendWG.Wait()
+	close(hbStop)
+	hbWG.Wait()
+
+	if lost.Load() {
+		// The lease moved on; whatever we reported is deduped, the rest
+		// reassigns. Back to claiming.
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// A non-nil runErr here is a job-level failure: it already rode the
+	// reports as a JobError (the scheduler fires every job's Progress
+	// callback), so the shard still completes — the coordinator accounts
+	// errored jobs as final.
+	_ = runErr
+	err := w.c.post(ctx, "/complete", CompleteRequest{
+		Worker: w.o.Name, Shard: shard.ID, Lease: shard.Lease,
+	}, &OKResponse{})
+	if err != nil {
+		if isLeaseLost(err) {
+			return nil
+		}
+		return fmt.Errorf("sweepd: complete shard %d: %w", shard.ID, err)
+	}
+	w.mu.Lock()
+	w.shardsRun++
+	w.mu.Unlock()
+	return nil
+}
