@@ -27,6 +27,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +56,9 @@ func run() int {
 		cacheCap   = flag.Int("cache", 0, "network cache capacity (0 = default)")
 		netstore   = flag.String("netstore", "", "topology store: dir, \"on\", or \"off\" (default: $REPRO_NETSTORE)")
 		batch      = flag.String("batch", "", "lockstep batched execution: \"on\", \"off\", or width (default: $REPRO_BATCH)")
+		retries    = flag.Int("retries", 0, "transient coordinator-call retries per request (0 = default)")
+		backoff    = flag.Duration("backoff", 0, "first retry delay, doubled per attempt (0 = default)")
+		maxOffline = flag.Duration("max-offline", 0, "drain and exit after the coordinator is unreachable this long (0 = 90s, negative = wait forever)")
 
 		// Coordinator mode: the grid (cmd/sweep's vocabulary).
 		specPath = flag.String("spec", "", "JSON spec file (grid flags below are ignored when set)")
@@ -74,6 +78,7 @@ func run() int {
 
 		// Coordinator mode: the service.
 		storePath  = flag.String("store", "", "merged JSONL result store (required; enables resume)")
+		journal    = flag.String("journal", "", "coordinator crash-recovery journal (default: <store>.journal; \"off\" disables epoch fencing)")
 		shards     = flag.Int("shards", 0, "content-key-range shard count (0 = default)")
 		lease      = flag.Duration("lease", 0, "lease TTL before a silent worker's shard reassigns (0 = default)")
 		httpAddr   = flag.String("http", ":9900", "coordinator listen address")
@@ -97,46 +102,69 @@ func run() int {
 	}()
 
 	if *workerURL != "" {
-		return runWorker(ctx, *workerURL, *name, *workers, *runWorkers, *cacheCap, *netstore, *batch)
+		return runWorker(ctx, workerConfig{
+			url: *workerURL, name: *name, workers: *workers, runWorkers: *runWorkers,
+			cacheCap: *cacheCap, netstore: *netstore, batch: *batch,
+			retries: *retries, backoff: *backoff, maxOffline: *maxOffline,
+		})
 	}
 	return runCoordinator(ctx, coordinatorConfig{
 		specPath: *specPath, sizes: *sizes, degrees: *degrees, deltas: *deltas,
 		places: *places, advs: *advs, algs: *algs, epsilons: *epsilons,
 		churns: *churns, faults: *faults, joins: *joins, losses: *losses,
 		trials: *trials, seed: *seed,
-		storePath: *storePath, shards: *shards, lease: *lease,
+		storePath: *storePath, journalPath: *journal, shards: *shards, lease: *lease,
 		httpAddr: *httpAddr, runlogPath: *runlogPath, telePath: *telePath,
 		format: *format, outPath: *outPath, quiet: *quiet,
 	})
 }
 
-func runWorker(ctx context.Context, url, name string, workers, runWorkers, cacheCap int, netstore, batch string) int {
-	opts := sweep.Options{Workers: workers, RunWorkers: runWorkers}
-	if netstore != "" {
-		ns, err := sweep.ResolveNetStore(netstore)
+type workerConfig struct {
+	url, name           string
+	workers, runWorkers int
+	cacheCap            int
+	netstore, batch     string
+	retries             int
+	backoff, maxOffline time.Duration
+}
+
+func runWorker(ctx context.Context, cfg workerConfig) int {
+	opts := sweep.Options{Workers: cfg.workers, RunWorkers: cfg.runWorkers}
+	if cfg.netstore != "" {
+		ns, err := sweep.ResolveNetStore(cfg.netstore)
 		if err != nil {
 			return fail(err)
 		}
-		opts.Cache = sweep.NewNetCacheWithStore(cacheCap, ns)
-	} else if cacheCap != 0 {
-		opts.Cache = sweep.NewNetCache(cacheCap)
+		opts.Cache = sweep.NewNetCacheWithStore(cfg.cacheCap, ns)
+	} else if cfg.cacheCap != 0 {
+		opts.Cache = sweep.NewNetCache(cfg.cacheCap)
 	}
-	if batch != "" {
-		width, err := sweep.ResolveBatch(batch)
+	if cfg.batch != "" {
+		width, err := sweep.ResolveBatch(cfg.batch)
 		if err != nil {
 			return fail(err)
 		}
 		opts.Batch = width
 	}
 	w := sweepd.NewWorker(sweepd.WorkerOptions{
-		Coordinator: url,
-		Name:        name,
+		Coordinator: cfg.url,
+		Name:        cfg.name,
 		Opts:        opts,
+		Retries:     cfg.retries,
+		Backoff:     cfg.backoff,
+		MaxOffline:  cfg.maxOffline,
 	})
-	fmt.Fprintf(os.Stderr, "worker %s -> %s\n", w.Name(), url)
+	fmt.Fprintf(os.Stderr, "worker %s -> %s\n", w.Name(), cfg.url)
 	if err := w.Run(ctx); err != nil {
 		if ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "worker %s: aborted (%v), shard lease will reassign\n", w.Name(), err)
+			return 130
+		}
+		if errors.Is(err, sweepd.ErrUnreachable) {
+			// Distinct from a hard failure: everything this worker
+			// reported is safe in the coordinator's store, and a
+			// restarted worker resumes the sweep where the fleet is.
+			fmt.Fprintf(os.Stderr, "worker %s: %v; drained cleanly — restart this worker to resume\n", w.Name(), err)
 			return 130
 		}
 		return fail(err)
@@ -150,7 +178,7 @@ type coordinatorConfig struct {
 	churns, faults, joins, losses                                  string
 	trials                                                         int
 	seed                                                           uint64
-	storePath                                                      string
+	storePath, journalPath                                         string
 	shards                                                         int
 	lease                                                          time.Duration
 	httpAddr, runlogPath, telePath, format, outPath                string
@@ -215,6 +243,18 @@ func runCoordinator(ctx context.Context, cfg coordinatorConfig) int {
 		fmt.Fprintf(os.Stderr, "run-log %s\n", logPath)
 	}
 
+	journalPath := cfg.journalPath
+	if journalPath == "" {
+		journalPath = cfg.storePath + ".journal"
+	}
+	var journal *sweepd.Journal
+	if journalPath != "off" {
+		journal, err = sweepd.OpenJournal(journalPath)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
 	mon := sweep.NewMonitor(spec.Name, len(jobs), nil, nil)
 	mon.SetExpand(expand)
 	coord, err := sweepd.NewCoordinator(jobs, sweepd.Config{
@@ -224,9 +264,14 @@ func runCoordinator(ctx context.Context, cfg coordinatorConfig) int {
 		LeaseTTL: cfg.lease,
 		Monitor:  mon,
 		RunLog:   runlog,
+		Journal:  journal,
 	})
 	if err != nil {
 		return fail(err)
+	}
+	if journal != nil {
+		fmt.Fprintf(os.Stderr, "journal %s (epoch %d): a restarted coordinator resumes this sweep and fences stale leases\n",
+			journalPath, journal.Epoch)
 	}
 
 	srv, err := obs.Serve(cfg.httpAddr, coord.Handler())

@@ -1,0 +1,67 @@
+// Package chaos is the deterministic fault-injection layer the
+// distributed sweep service is hardened against: a seeded coin decides,
+// per injection site, whether a request is dropped, delayed,
+// duplicated, or truncated (Transport), and whether a file write is
+// torn, short, or denied (FaultFile). The philosophy mirrors the
+// engine's MessageLoss coin framework — a fault is a pure function of
+// (seed, site, occurrence), so a failing schedule replays exactly from
+// its seed — but the streams are entirely separate from the simulation
+// rng: chaos decisions can never perturb result determinism, only the
+// infrastructure the results travel through. The correctness contract
+// under any schedule is the sweep service's one invariant: merged
+// stores and rendered aggregates stay byte-identical to a clean
+// single-process run.
+package chaos
+
+import (
+	"errors"
+	"hash/fnv"
+)
+
+// ErrInjected is the sentinel every injected fault wraps, so tests and
+// retry layers can distinguish manufactured failures from real ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// mix is splitmix64's finalizer: a cheap, well-distributed 64-bit
+// permutation.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Coin is the deterministic decision source for one injection site: a
+// (seed, scope, occurrence) triple. Distinct salts draw independent
+// values from the same site, so one request can independently roll for
+// drop, delay, and truncation without the outcomes correlating.
+type Coin struct {
+	state uint64
+}
+
+// NewCoin derives the coin for occurrence n of scope under seed.
+func NewCoin(seed uint64, scope string, n uint64) Coin {
+	return Coin{state: mix(mix(seed) ^ mix(hashString(scope)) ^ mix(n+0x51ed2701))}
+}
+
+// Frac returns a uniform float64 in [0, 1) for this site and salt.
+func (c Coin) Frac(salt string) float64 {
+	return float64(mix(c.state^hashString(salt))>>11) / (1 << 53)
+}
+
+// Roll reports whether the fault with probability p fires at this site.
+func (c Coin) Roll(salt string, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return c.Frac(salt) < p
+}

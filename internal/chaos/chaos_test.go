@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestCoinDeterministic pins the coin contract: the same (seed, scope,
+// n, salt) always yields the same draw, and each coordinate
+// independently decorrelates it.
+func TestCoinDeterministic(t *testing.T) {
+	a := NewCoin(7, "/report", 3)
+	b := NewCoin(7, "/report", 3)
+	if a.Frac("drop") != b.Frac("drop") {
+		t.Fatal("same site drew different values")
+	}
+	if a.Roll("drop", 0.5) != b.Roll("drop", 0.5) {
+		t.Fatal("same site rolled differently")
+	}
+	distinct := map[float64]bool{
+		NewCoin(8, "/report", 3).Frac("drop"): true,
+		NewCoin(7, "/claim", 3).Frac("drop"):  true,
+		NewCoin(7, "/report", 4).Frac("drop"): true,
+		a.Frac("delay"):                       true,
+		a.Frac("drop"):                        true,
+	}
+	if len(distinct) != 5 {
+		t.Fatalf("coordinate change collided: %d distinct of 5", len(distinct))
+	}
+}
+
+// TestCoinEdges pins degenerate probabilities and the Frac range.
+func TestCoinEdges(t *testing.T) {
+	c := NewCoin(1, "x", 0)
+	if c.Roll("s", 0) || c.Roll("s", -1) {
+		t.Fatal("p<=0 fired")
+	}
+	if !c.Roll("s", 1) || !c.Roll("s", 2) {
+		t.Fatal("p>=1 did not fire")
+	}
+	for n := uint64(0); n < 1000; n++ {
+		f := NewCoin(42, "range", n).Frac("f")
+		if f < 0 || f >= 1 || math.IsNaN(f) {
+			t.Fatalf("Frac out of [0,1): %v", f)
+		}
+	}
+}
+
+// TestCoinFrequency sanity-checks that Roll's hit rate tracks p.
+func TestCoinFrequency(t *testing.T) {
+	hits := 0
+	const trials = 20000
+	for n := uint64(0); n < trials; n++ {
+		if NewCoin(9, "freq", n).Roll("hit", 0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("p=0.25 hit rate = %v", got)
+	}
+}
+
+func TestErrInjectedWraps(t *testing.T) {
+	f := &FaultFile{F: &memFile{}, FailWrite: func(n uint64) error {
+		return errors.New("boom")
+	}}
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("scripted write failure did not fire")
+	}
+	f2 := &FaultFile{F: &memFile{}, Plan: DiskPlan{WriteErr: 1}}
+	if _, err := f2.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("planned failure err = %v, want ErrInjected", err)
+	}
+}

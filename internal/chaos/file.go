@@ -1,0 +1,148 @@
+package chaos
+
+// file.go is the disk half of the fault layer: FaultFile wraps the
+// backing file of the sweep result store, the run-log, or a netstore
+// temp blob, and injects the failure modes an append-only on-disk
+// format must survive — torn appends (a prefix lands, then the write
+// errors), outright write denials (the ENOSPC shape), and fsync
+// failures. Faults come from a seeded DiskPlan for randomized property
+// suites, or from explicit per-operation callbacks for targeted
+// regression tests; callbacks win when both are set.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// File is the backing-file surface the stores write through; *os.File
+// satisfies it, and so does FaultFile, so injectors nest.
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// DiskPlan sets seeded per-operation fault probabilities.
+type DiskPlan struct {
+	// Seed drives the coin; ops are numbered per FaultFile instance.
+	Seed uint64
+	// TornWrite delivers a strict prefix of the buffer, then errors.
+	TornWrite float64
+	// WriteErr denies the write before any byte lands (ENOSPC shape).
+	WriteErr float64
+	// SyncErr fails Sync after the underlying write-back is attempted.
+	SyncErr float64
+}
+
+// FaultFile injects DiskPlan faults (or scripted callback faults)
+// around F. Safe for concurrent use; operation numbering is per
+// instance, 1-based in callbacks.
+type FaultFile struct {
+	F    File
+	Plan DiskPlan
+
+	// TearAt, when non-nil, is consulted first on the n-th write: a
+	// return in [0, len(b)) tears the write after that many bytes (a
+	// negative return defers to the plan).
+	TearAt func(n uint64, b []byte) int
+	// FailWrite, when non-nil, can deny the n-th write outright.
+	FailWrite func(n uint64) error
+	// FailSync, when non-nil, can fail the n-th sync.
+	FailSync func(n uint64) error
+
+	mu     sync.Mutex
+	writes uint64
+	syncs  uint64
+	faults map[string]int64
+}
+
+func (f *FaultFile) note(kind string) {
+	if f.faults == nil {
+		f.faults = make(map[string]int64)
+	}
+	f.faults[kind]++
+}
+
+// Counts snapshots injected-fault tallies by kind.
+func (f *FaultFile) Counts() map[string]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int64, len(f.faults))
+	for k, v := range f.faults {
+		out[k] = v
+	}
+	return out
+}
+
+// Read passes through untouched: the fault model targets the write and
+// durability paths; read-side corruption is the codec fuzzers' beat.
+func (f *FaultFile) Read(p []byte) (int, error) { return f.F.Read(p) }
+
+// Write applies scripted then seeded faults, then forwards to F.
+func (f *FaultFile) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	f.writes++
+	n := f.writes
+	if f.FailWrite != nil {
+		if err := f.FailWrite(n); err != nil {
+			f.note("write-err")
+			f.mu.Unlock()
+			return 0, err
+		}
+	}
+	tear := -1
+	if f.TearAt != nil {
+		tear = f.TearAt(n, b)
+	}
+	coin := NewCoin(f.Plan.Seed, "write", n)
+	if tear < 0 && coin.Roll("write-err", f.Plan.WriteErr) {
+		f.note("write-err")
+		f.mu.Unlock()
+		return 0, fmt.Errorf("%w: write %d denied (no space)", ErrInjected, n)
+	}
+	if tear < 0 && len(b) > 0 && coin.Roll("torn", f.Plan.TornWrite) {
+		tear = int(coin.Frac("torn-len") * float64(len(b)))
+	}
+	if tear >= 0 && tear < len(b) {
+		f.note("torn-write")
+		f.mu.Unlock()
+		m, err := f.F.Write(b[:tear])
+		if err == nil {
+			err = fmt.Errorf("%w: write %d torn after %d/%d bytes", ErrInjected, n, m, len(b))
+		}
+		return m, err
+	}
+	f.mu.Unlock()
+	return f.F.Write(b)
+}
+
+// Sync applies scripted then seeded faults, then forwards to F. The
+// underlying sync still runs before an injected failure — a real fsync
+// error leaves durability unknown, not cleanly absent.
+func (f *FaultFile) Sync() error {
+	f.mu.Lock()
+	f.syncs++
+	n := f.syncs
+	var injected error
+	if f.FailSync != nil {
+		injected = f.FailSync(n)
+	}
+	if injected == nil && NewCoin(f.Plan.Seed, "sync", n).Roll("sync-err", f.Plan.SyncErr) {
+		injected = fmt.Errorf("%w: sync %d failed", ErrInjected, n)
+	}
+	if injected != nil {
+		f.note("sync-err")
+	}
+	f.mu.Unlock()
+	err := f.F.Sync()
+	if err == nil {
+		err = injected
+	}
+	return err
+}
+
+// Close passes through: the fault model never loses a close, it loses
+// what a close would have flushed — that is Sync's job to deny.
+func (f *FaultFile) Close() error { return f.F.Close() }

@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// memFile is an in-memory File for unit tests.
+type memFile struct {
+	buf    bytes.Buffer
+	syncs  int
+	closed bool
+}
+
+func (m *memFile) Read(p []byte) (int, error)  { return m.buf.Read(p) }
+func (m *memFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memFile) Sync() error                 { m.syncs++; return nil }
+func (m *memFile) Close() error                { m.closed = true; return nil }
+
+// TestFaultFileTornWrite: a torn write lands a strict prefix and
+// reports an error; later writes proceed.
+func TestFaultFileTornWrite(t *testing.T) {
+	mem := &memFile{}
+	f := &FaultFile{F: mem, TearAt: func(n uint64, b []byte) int {
+		if n == 2 {
+			return 3
+		}
+		return -1
+	}}
+	if _, err := f.Write([]byte("first\n")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("second\n"))
+	if !errors.Is(err, ErrInjected) || n != 3 {
+		t.Fatalf("torn write = (%d, %v), want (3, ErrInjected)", n, err)
+	}
+	if _, err := f.Write([]byte("third\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.buf.String(); got != "first\nsecthird\n" {
+		t.Fatalf("file contents = %q", got)
+	}
+	if f.Counts()["torn-write"] != 1 {
+		t.Fatalf("counts = %v", f.Counts())
+	}
+}
+
+// TestFaultFileWriteDenied: a denied write lands nothing.
+func TestFaultFileWriteDenied(t *testing.T) {
+	mem := &memFile{}
+	f := &FaultFile{F: mem, Plan: DiskPlan{Seed: 5, WriteErr: 1}}
+	if n, err := f.Write([]byte("x")); err == nil || n != 0 {
+		t.Fatalf("denied write = (%d, %v)", n, err)
+	}
+	if mem.buf.Len() != 0 {
+		t.Fatal("denied write landed bytes")
+	}
+}
+
+// TestFaultFileSync: an injected sync failure still runs the
+// underlying sync (durability unknown, not skipped), and scripted
+// failures fire per call index.
+func TestFaultFileSync(t *testing.T) {
+	mem := &memFile{}
+	f := &FaultFile{F: mem, FailSync: func(n uint64) error {
+		if n == 1 {
+			return errors.New("sync denied")
+		}
+		return nil
+	}}
+	if err := f.Sync(); err == nil {
+		t.Fatal("scripted sync failure did not fire")
+	}
+	if mem.syncs != 1 {
+		t.Fatalf("underlying sync ran %d times, want 1", mem.syncs)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultFileSeededDeterminism: the same plan over the same op
+// sequence injects identical faults.
+func TestFaultFileSeededDeterminism(t *testing.T) {
+	run := func() []bool {
+		f := &FaultFile{F: &memFile{}, Plan: DiskPlan{Seed: 21, TornWrite: 0.3, WriteErr: 0.2, SyncErr: 0.25}}
+		var outs []bool
+		for i := 0; i < 30; i++ {
+			_, werr := f.Write([]byte("payload-line\n"))
+			serr := f.Sync()
+			outs = append(outs, werr == nil, serr == nil)
+		}
+		return outs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged between identical plans", i)
+		}
+	}
+}

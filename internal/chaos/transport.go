@@ -1,0 +1,226 @@
+package chaos
+
+// transport.go is the network half of the fault layer: an
+// http.RoundTripper that interposes on every coordinator call a worker
+// makes and, per a (seed, endpoint, attempt) coin, drops the request
+// before it is sent, drops the response after the server processed it
+// (the ack-lost case — the nastier half of "drop"), delays it (which is
+// how reordering between concurrent calls arises), duplicates it (the
+// server must be idempotent), or truncates the request or response body
+// mid-stream. Fault decisions are deterministic given the sequence of
+// calls; the sequence itself is whatever the workers produce.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NetPlan sets per-request fault probabilities. Each probability is
+// rolled independently per request from its own salt, so faults
+// compose (a delayed request can also lose its response).
+type NetPlan struct {
+	// Seed drives every coin the transport flips.
+	Seed uint64
+	// DropRequest aborts the call before anything reaches the server.
+	DropRequest float64
+	// DropResponse lets the server process the call, then loses the
+	// response — the client sees an error for work that happened.
+	DropResponse float64
+	// Delay sleeps a uniform duration in (0, MaxDelay] before sending.
+	Delay float64
+	// DupRequest sends the request twice and returns the second
+	// response (the first is drained and discarded).
+	DupRequest float64
+	// TruncateRequest cuts the request body short of its declared
+	// Content-Length, which surfaces as a transport error client-side.
+	TruncateRequest float64
+	// TruncateResponse cuts the response body mid-stream: the client
+	// reads a prefix, then io.ErrUnexpectedEOF.
+	TruncateResponse float64
+	// MaxDelay caps injected delays (0: 25ms).
+	MaxDelay time.Duration
+}
+
+// Transport injects NetPlan faults around Inner (nil:
+// http.DefaultTransport). Safe for concurrent use.
+type Transport struct {
+	Inner http.RoundTripper
+	Plan  NetPlan
+
+	mu       sync.Mutex
+	attempts map[string]uint64
+	faults   map[string]int64
+}
+
+// note records an injected fault for Counts.
+func (t *Transport) note(kind string) {
+	// Caller holds no lock; take it briefly.
+	t.mu.Lock()
+	if t.faults == nil {
+		t.faults = make(map[string]int64)
+	}
+	t.faults[kind]++
+	t.mu.Unlock()
+}
+
+// Counts snapshots injected-fault tallies by kind (tests assert the
+// schedule actually exercised something).
+func (t *Transport) Counts() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.faults))
+	for k, v := range t.faults {
+		out[k] = v
+	}
+	return out
+}
+
+// FaultKinds lists the kinds Counts may report, in stable order.
+func FaultKinds() []string {
+	ks := []string{"drop-request", "drop-response", "delay", "dup-request", "truncate-request", "truncate-response"}
+	sort.Strings(ks)
+	return ks
+}
+
+// truncatedReader yields a prefix then fails with io.ErrUnexpectedEOF.
+type truncatedReader struct {
+	r    io.Reader
+	done bool
+}
+
+func (t *truncatedReader) Read(p []byte) (int, error) {
+	if t.done {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n, err := t.r.Read(p)
+	if err == io.EOF {
+		t.done = true
+		err = nil
+		if n == 0 {
+			return 0, io.ErrUnexpectedEOF
+		}
+	}
+	return n, err
+}
+
+// shortBody delivers only the first k bytes of b, then reports EOF —
+// under a larger declared Content-Length, the transport errors out.
+type shortBody struct {
+	r io.Reader
+}
+
+func (s *shortBody) Read(p []byte) (int, error) { return s.r.Read(p) }
+func (s *shortBody) Close() error               { return nil }
+
+// RoundTrip implements http.RoundTripper with fault injection.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	endpoint := req.URL.Path
+
+	t.mu.Lock()
+	if t.attempts == nil {
+		t.attempts = make(map[string]uint64)
+	}
+	n := t.attempts[endpoint]
+	t.attempts[endpoint] = n + 1
+	t.mu.Unlock()
+	coin := NewCoin(t.Plan.Seed, endpoint, n)
+
+	if coin.Roll("drop-request", t.Plan.DropRequest) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		t.note("drop-request")
+		return nil, fmt.Errorf("%w: request to %s dropped", ErrInjected, endpoint)
+	}
+
+	// Buffer the body once: duplication and truncation both need to
+	// replay or reshape it. Coordinator-protocol bodies are small JSON.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	send := func() (*http.Response, error) {
+		r2 := req.Clone(req.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		return inner.RoundTrip(r2)
+	}
+
+	if coin.Roll("delay", t.Plan.Delay) {
+		max := t.Plan.MaxDelay
+		if max <= 0 {
+			max = 25 * time.Millisecond
+		}
+		t.note("delay")
+		d := time.Duration(coin.Frac("delay-len") * float64(max))
+		timer := time.NewTimer(d)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+
+	if len(body) > 1 && coin.Roll("truncate-request", t.Plan.TruncateRequest) {
+		k := 1 + int(coin.Frac("truncate-request-len")*float64(len(body)-1))
+		r2 := req.Clone(req.Context())
+		r2.Body = &shortBody{r: bytes.NewReader(body[:k])}
+		r2.ContentLength = int64(len(body)) // declared full, delivered short
+		t.note("truncate-request")
+		resp, err := inner.RoundTrip(r2)
+		if err != nil {
+			return nil, err
+		}
+		// Some servers answer the malformed prefix anyway; pass it on.
+		return resp, nil
+	}
+
+	if coin.Roll("dup-request", t.Plan.DupRequest) {
+		t.note("dup-request")
+		if first, err := send(); err == nil {
+			io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+		}
+	}
+
+	resp, err := send()
+	if err != nil {
+		return nil, err
+	}
+
+	if coin.Roll("drop-response", t.Plan.DropResponse) {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.note("drop-response")
+		return nil, fmt.Errorf("%w: response from %s dropped", ErrInjected, endpoint)
+	}
+
+	if coin.Roll("truncate-response", t.Plan.TruncateResponse) {
+		full, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && len(full) > 1 {
+			k := 1 + int(coin.Frac("truncate-response-len")*float64(len(full)-1))
+			resp.Body = io.NopCloser(&truncatedReader{r: bytes.NewReader(full[:k])})
+			resp.ContentLength = -1
+			t.note("truncate-response")
+		} else {
+			resp.Body = io.NopCloser(bytes.NewReader(full))
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// echoServer counts requests and echoes a fixed body.
+func echoServer(t *testing.T, hits *atomic.Int64, body string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, body)
+	}))
+}
+
+func post(t *testing.T, tr *Transport, url, body string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.RoundTrip(req)
+}
+
+// TestTransportDropRequest: the server never sees a dropped request,
+// and the error wraps ErrInjected.
+func TestTransportDropRequest(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits, "ok")
+	defer srv.Close()
+	tr := &Transport{Plan: NetPlan{Seed: 1, DropRequest: 1}}
+	if _, err := post(t, tr, srv.URL+"/x", "{}"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("dropped request reached the server")
+	}
+	if tr.Counts()["drop-request"] != 1 {
+		t.Fatalf("counts = %v", tr.Counts())
+	}
+}
+
+// TestTransportDropResponse: the server processes the call, the client
+// still sees an error — the ack-lost fault.
+func TestTransportDropResponse(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits, "ok")
+	defer srv.Close()
+	tr := &Transport{Plan: NetPlan{Seed: 1, DropResponse: 1}}
+	if _, err := post(t, tr, srv.URL+"/x", "{}"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server hits = %d, want 1 (request must have been processed)", hits.Load())
+	}
+}
+
+// TestTransportDup: the server sees the request twice, the client one
+// clean response.
+func TestTransportDup(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits, "ok")
+	defer srv.Close()
+	tr := &Transport{Plan: NetPlan{Seed: 1, DupRequest: 1}}
+	resp, err := post(t, tr, srv.URL+"/x", `{"a":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "ok" {
+		t.Fatalf("body = %q", b)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server hits = %d, want 2", hits.Load())
+	}
+}
+
+// TestTransportTruncateResponse: the client reads a strict prefix, then
+// io.ErrUnexpectedEOF.
+func TestTransportTruncateResponse(t *testing.T) {
+	var hits atomic.Int64
+	full := strings.Repeat("abcdefgh", 64)
+	srv := echoServer(t, &hits, full)
+	defer srv.Close()
+	tr := &Transport{Plan: NetPlan{Seed: 3, TruncateResponse: 1}}
+	resp, err := post(t, tr, srv.URL+"/x", "{}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != io.ErrUnexpectedEOF {
+		t.Fatalf("read err = %v, want ErrUnexpectedEOF", rerr)
+	}
+	if len(b) == 0 || len(b) >= len(full) || !strings.HasPrefix(full, string(b)) {
+		t.Fatalf("truncated body is not a strict prefix: %d of %d bytes", len(b), len(full))
+	}
+}
+
+// TestTransportTruncateRequest: a body shorter than its declared
+// Content-Length must surface as an error, not as a clean exchange the
+// client would mistake for success.
+func TestTransportTruncateRequest(t *testing.T) {
+	var got atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		got.Store(int64(len(b)))
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	tr := &Transport{Plan: NetPlan{Seed: 2, TruncateRequest: 1}}
+	body := strings.Repeat("x", 4096)
+	_, err := post(t, tr, srv.URL+"/x", body)
+	if err == nil && got.Load() == int64(len(body)) {
+		t.Fatal("truncated request delivered its full body cleanly")
+	}
+}
+
+// TestTransportDeterministicSchedule: two transports with the same plan
+// inject the same faults for the same call sequence.
+func TestTransportDeterministicSchedule(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits, "ok")
+	defer srv.Close()
+	run := func() ([]bool, map[string]int64) {
+		tr := &Transport{Plan: NetPlan{Seed: 11, DropRequest: 0.3, DropResponse: 0.2}}
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			_, err := post(t, tr, srv.URL+"/claim", "{}")
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes, tr.Counts()
+	}
+	o1, c1 := run()
+	o2, c2 := run()
+	if !bytes.Equal(boolBytes(o1), boolBytes(o2)) {
+		t.Fatal("same plan, same sequence, different fault schedule")
+	}
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Fatalf("fault counts diverged: %v vs %v", c1, c2)
+		}
+	}
+}
+
+func boolBytes(bs []bool) []byte {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		if b {
+			out[i] = 1
+		}
+	}
+	return out
+}

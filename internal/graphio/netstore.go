@@ -20,12 +20,22 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hgraph"
 )
+
+// tempMaxAge is how old a .tmp-* file must be before OpenNetStore
+// treats it as an orphan of a dead writer and removes it. Live writers
+// finish (or clean up after themselves) in well under this; a crashed
+// process's temp file would otherwise leak forever, one per kill.
+const tempMaxAge = 15 * time.Minute
 
 // NetStore is a persistent content-addressed store of generated networks
 // and their engine tables. Methods are safe for concurrent use (the
@@ -33,15 +43,60 @@ import (
 // writes rename complete temp files into place).
 type NetStore struct {
 	dir string // versioned directory all blobs live in
+
+	mu   sync.Mutex
+	hook func(SaveFile) SaveFile
 }
 
-// OpenNetStore opens (creating if needed) the store rooted at root.
+// SaveFile is the write surface Save streams a blob through before the
+// atomic rename (an *os.File normally). Chaos tests wrap it via
+// SetSaveHook to inject short writes and ENOSPC on the temp file.
+type SaveFile interface {
+	io.Writer
+	Close() error
+}
+
+// SetSaveHook installs (or, with nil, removes) a wrapper applied to
+// every Save's temp file — the store's fault-injection seam.
+func (s *NetStore) SetSaveHook(hook func(SaveFile) SaveFile) {
+	s.mu.Lock()
+	s.hook = hook
+	s.mu.Unlock()
+}
+
+// OpenNetStore opens (creating if needed) the store rooted at root, and
+// sweeps temp files orphaned by writers that died mid-save: a crashed
+// process leaves its .tmp-* behind (the atomic-rename protocol never
+// exposes it under a live name, but nothing else deletes it either).
+// Only temps older than tempMaxAge are removed, so a concurrent live
+// writer's in-flight file is never yanked out from under it.
 func OpenNetStore(root string) (*NetStore, error) {
 	dir := filepath.Join(root, fmt.Sprintf("v%d", CodecVersion))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("graphio: open net store: %w", err)
 	}
+	sweepOrphanTemps(dir)
 	return &NetStore{dir: dir}, nil
+}
+
+// sweepOrphanTemps removes stale .tmp-* files; best effort, errors are
+// ignored (a vanished or busy file is someone else's progress).
+func sweepOrphanTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-tempMaxAge)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		_ = os.Remove(filepath.Join(dir, e.Name()))
+	}
 }
 
 // Dir returns the store's versioned blob directory.
@@ -98,18 +153,28 @@ func (s *NetStore) Load(p hgraph.Params) (*hgraph.Network, *core.Topology, error
 }
 
 // Save persists net (and topo; nil derives the tables here) under its
-// parameters' content address, atomically.
+// parameters' content address, atomically. A save that fails mid-write
+// removes its temp file and leaves the live name untouched — a failed
+// save can never poison a later Load.
 func (s *NetStore) Save(net *hgraph.Network, topo *core.Topology) error {
 	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("graphio: net store save: %w", err)
 	}
-	bw := bufio.NewWriterSize(tmp, 1<<20)
+	s.mu.Lock()
+	hook := s.hook
+	s.mu.Unlock()
+	var w SaveFile = tmp
+	if hook != nil {
+		// The wrapper owns forwarding Close to the temp file.
+		w = hook(tmp)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
 	err = WriteNetwork(bw, net, topo)
 	if err == nil {
 		err = bw.Flush()
 	}
-	if cerr := tmp.Close(); err == nil {
+	if cerr := w.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {

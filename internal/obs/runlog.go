@@ -40,6 +40,10 @@ type RunLog struct {
 	w   io.Writer
 	c   io.Closer // nil when the writer is not ours to close
 	now func() time.Time
+	// torn records that the last append failed after landing a partial
+	// line; the next event seals it with a newline first, so one torn
+	// write costs one line, never the line after it too.
+	torn bool
 }
 
 // NewRunLog logs to w (the caller owns w's lifetime).
@@ -78,7 +82,16 @@ func (l *RunLog) Event(event string, fields map[string]any) error {
 		return fmt.Errorf("obs: marshal run-log event: %w", err)
 	}
 	line = append(line, '\n')
-	if _, err := l.w.Write(line); err != nil {
+	if l.torn {
+		if _, err := l.w.Write([]byte{'\n'}); err != nil {
+			return fmt.Errorf("obs: seal torn run-log line: %w", err)
+		}
+		l.torn = false
+	}
+	if n, err := l.w.Write(line); err != nil {
+		if n > 0 && n < len(line) {
+			l.torn = true
+		}
 		return fmt.Errorf("obs: append run-log event: %w", err)
 	}
 	return nil

@@ -1,0 +1,90 @@
+package obs
+
+// runlog_test.go pins the run-log's crash tolerance under injected
+// write faults: a torn line costs exactly itself (the next event seals
+// it, so later lines never glue onto the fragment), and the reader
+// skips any damage without losing what follows.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tornWriter tears the n-th write after half its bytes.
+type tornWriter struct {
+	buf    bytes.Buffer
+	n      int
+	tearAt int
+}
+
+func (w *tornWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n == w.tearAt {
+		k := len(p) / 2
+		w.buf.Write(p[:k])
+		return k, errors.New("injected: torn write")
+	}
+	return w.buf.Write(p)
+}
+
+// TestRunLogTornWriteSealed: event 3's write tears; events 4+ must
+// survive the reader intact rather than gluing onto the fragment.
+func TestRunLogTornWriteSealed(t *testing.T) {
+	w := &tornWriter{tearAt: 3}
+	l := NewRunLog(w)
+	var wantEvents []string
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("event_%d", i)
+		err := l.Event(name, map[string]any{"i": i})
+		if i == 2 {
+			if err == nil {
+				t.Fatal("torn write not surfaced")
+			}
+			continue // lost line: its own cost
+		}
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		wantEvents = append(wantEvents, name)
+	}
+
+	events, err := ReadRunLog(strings.NewReader(w.buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range events {
+		got = append(got, e.Event)
+	}
+	if strings.Join(got, ",") != strings.Join(wantEvents, ",") {
+		t.Fatalf("events after torn write = %v, want %v", got, wantEvents)
+	}
+}
+
+// TestRunLogTornTailReader: a log whose final line is a torn fragment
+// (writer died mid-append) yields every complete line and silently
+// drops the tail — and a fragment mid-file never takes the next line
+// with it when a newline separates them.
+func TestRunLogTornTailReader(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewRunLog(&buf)
+	for i := 0; i < 3; i++ {
+		if err := l.Event(fmt.Sprintf("e%d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := buf.String()
+	// Kill the writer mid-final-line: keep everything but the last 10
+	// bytes of the final event.
+	torn := whole[:len(whole)-10]
+	events, err := ReadRunLog(strings.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Event != "e0" || events[1].Event != "e1" {
+		t.Fatalf("torn-tail read = %+v, want e0,e1", events)
+	}
+}

@@ -37,11 +37,19 @@ type Record struct {
 // Close syncs before closing, Sync forces a flush on demand (sweepd's
 // coordinator syncs before acking a shard complete), and SyncEvery opts
 // into a periodic fsync every n appends for long-running writers.
+// A torn append in a live process (the write itself fails midway —
+// disk full, injected chaos fault) marks the store dirty: the next Put
+// first seals the partial line with a newline, so an acknowledged later
+// record can never be glued onto the torn fragment and lost with it.
 type Store struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    File
 	have map[string]Record
 	path string
+
+	// torn records that the last append failed after landing a partial
+	// line; the next Put must seal it before writing.
+	torn bool
 
 	// syncEvery > 0 fsyncs after every syncEvery-th Put; sinceSync counts
 	// appends since the last flush.
@@ -49,12 +57,34 @@ type Store struct {
 	sinceSync int
 }
 
+// File is the store's backing-file surface. *os.File satisfies it;
+// chaos tests wrap it to inject torn appends, write denials, and fsync
+// failures (see OpenStoreHooked).
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Close() error
+}
+
 // OpenStore opens (creating if absent) the JSONL store at path and
 // indexes its existing records.
 func OpenStore(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	return OpenStoreHooked(path, nil)
+}
+
+// OpenStoreHooked is OpenStore with a fault-injection seam: hook, when
+// non-nil, wraps the freshly opened backing file and every subsequent
+// read, append, and sync goes through the wrapper. Production callers
+// use OpenStore; the chaos suite injects torn and denied writes here.
+func OpenStoreHooked(path string, hook func(File) File) (*Store, error) {
+	of, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: open store: %w", err)
+	}
+	var f File = of
+	if hook != nil {
+		f = hook(f)
 	}
 	s := &Store{f: f, have: make(map[string]Record), path: path}
 
@@ -113,7 +143,19 @@ func (s *Store) Put(rec Record) error {
 	line = append(line, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.f.Write(line); err != nil {
+	// A previous append tore mid-line: seal the fragment first, or the
+	// record below would glue onto it and both lines would be lost on
+	// reload — including a record whose Put already returned nil.
+	if s.torn {
+		if _, err := s.f.Write([]byte{'\n'}); err != nil {
+			return fmt.Errorf("sweep: seal torn append: %w", err)
+		}
+		s.torn = false
+	}
+	if n, err := s.f.Write(line); err != nil {
+		if n > 0 && n < len(line) {
+			s.torn = true
+		}
 		return fmt.Errorf("sweep: append record: %w", err)
 	}
 	s.have[rec.Key] = rec

@@ -57,6 +57,14 @@ type Config struct {
 	Telemetry *obs.Registry
 	// RunLog receives coordinator lifecycle events (nil: disabled).
 	RunLog *obs.RunLog
+	// Journal is the crash-recovery journal (nil: epoch fencing off, as
+	// for an ephemeral in-test coordinator). When set, NewCoordinator
+	// bumps its epoch and persists before serving: lease tokens embed
+	// the epoch, so tokens from a pre-crash incarnation 409 instead of
+	// colliding, and the journal's recorded shard count overrides
+	// Config.Shards so a restart re-partitions the remaining keyspace
+	// with the original geometry.
+	Journal *Journal
 
 	// clock overrides time.Now for lease-expiry tests.
 	clock func() time.Time
@@ -102,6 +110,12 @@ func NewCoordinator(jobs []sweep.Job, cfg Config) (*Coordinator, error) {
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = DefaultShards
+	}
+	// A journaled restart must re-partition with the geometry the first
+	// incarnation used, whatever today's flag says: shard indices in
+	// workers' still-live claims are meaningless otherwise.
+	if cfg.Journal != nil && cfg.Journal.Shards > 0 {
+		cfg.Shards = cfg.Journal.Shards
 	}
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = DefaultLeaseTTL
@@ -152,11 +166,22 @@ func NewCoordinator(jobs []sweep.Job, cfg Config) (*Coordinator, error) {
 		pending = append(pending, i)
 	}
 	c.shards = sweep.PartitionByKey(jobs, pending, cfg.Shards)
-	c.leases = newLeaseTable(len(c.shards), cfg.LeaseTTL, cfg.clock)
+	// Fence this incarnation before any lease exists: a failed journal
+	// save fails the boot, or a later crash could reuse the epoch and
+	// hand a stale worker a colliding token.
+	var epoch uint32
+	if cfg.Journal != nil {
+		if err := cfg.Journal.Bump(cfg.Shards); err != nil {
+			return nil, err
+		}
+		epoch = cfg.Journal.Epoch
+	}
+	c.leases = newLeaseTable(len(c.shards), cfg.LeaseTTL, cfg.clock, epoch)
 
 	_ = cfg.RunLog.Event("sweep_start", map[string]any{
 		"jobs": len(jobs), "pending": len(pending),
 		"resumed": len(skipped), "shards": len(c.shards),
+		"epoch": epoch,
 	})
 	for pos, i := range skipped {
 		_ = cfg.RunLog.Event("job_skip", map[string]any{
@@ -380,12 +405,22 @@ func (c *Coordinator) report(req ReportRequest) (ReportResponse, error) {
 // completeShard retires a shard under its lease: verify every job is
 // accounted, sync the store to stable storage, then ack.
 func (c *Coordinator) completeShard(worker string, shard int, token int64) error {
+	// Bounds-check before indexing: the shard number came off the wire
+	// (FuzzProtocolDecode found the panic this guards against).
+	if shard < 0 || shard >= len(c.shards) {
+		return fmt.Errorf("%w: shard %d of %d", errNoShard, shard, len(c.shards))
+	}
 	c.mu.Lock()
 	for _, i := range c.shards[shard] {
 		if !c.accounted[i] {
 			c.mu.Unlock()
-			return fmt.Errorf("sweepd: shard %d incomplete: job %s unreported",
-				shard, c.jobs[i].Label())
+			// Served as 409, not 500: a complete for a shard with
+			// unreported jobs means the worker's reports were lost (a
+			// dropped /report, a coordinator restart) — retrying the
+			// complete cannot ever succeed, but abandoning the lease
+			// lets the shard reassign and the missing jobs recompute.
+			return fmt.Errorf("%w: shard %d incomplete: job %s unreported",
+				ErrLeaseLost, shard, c.jobs[i].Label())
 		}
 	}
 	c.mu.Unlock()
@@ -434,8 +469,12 @@ type WorkerInfo struct {
 // Status is the coordinator's /status document: the familiar sweep
 // Monitor document plus the shard and worker view.
 type Status struct {
-	Sweep   sweep.Status `json:"sweep"`
-	Shards  ShardTally   `json:"shards"`
+	Sweep  sweep.Status `json:"sweep"`
+	Shards ShardTally   `json:"shards"`
+	// Epoch is the coordinator's fencing generation: how many times a
+	// coordinator has booted against this sweep's journal (0: no
+	// journal). A bump between two /status polls is a crash+restart.
+	Epoch   uint32       `json:"epoch,omitempty"`
 	Workers []WorkerInfo `json:"workers,omitempty"`
 	Done    bool         `json:"done"`
 	Aborted bool         `json:"aborted,omitempty"`
@@ -447,6 +486,7 @@ func (c *Coordinator) Status() Status {
 	c.workersAlive.Set(int64(c.leases.Alive()))
 	s := Status{
 		Sweep: c.mon.Status(),
+		Epoch: c.leases.Epoch(),
 		Shards: ShardTally{
 			Total:            len(c.shards),
 			Pending:          pending,
@@ -532,11 +572,21 @@ func (c *Coordinator) Handler() http.Handler {
 	return mux
 }
 
+// maxRequestBody bounds any protocol request body. The largest
+// legitimate body is a /report batch; at a few hundred bytes per record
+// this allows batches far beyond any real shard, while a hostile or
+// corrupted Content-Length cannot make the decoder buffer unbounded.
+const maxRequestBody = 64 << 20
+
+// decode parses a protocol request body. Anything malformed — wrong
+// method, oversized, truncated, or garbled JSON — is answered 4xx,
+// never a panic and never a 5xx (FuzzProtocolDecode holds it to that).
 func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return false
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return false
@@ -549,12 +599,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// leaseError maps lease losses to 409 (the client's abandon signal) and
-// everything else to 500 (retryable).
+// leaseError maps lease losses to 409 (the client's abandon signal),
+// nonexistent shards to 400 (malformed request, retrying cannot help),
+// and everything else to 500 (retryable).
 func leaseError(w http.ResponseWriter, err error) {
-	if errors.Is(err, ErrLeaseLost) {
+	switch {
+	case errors.Is(err, ErrLeaseLost):
 		http.Error(w, err.Error(), http.StatusConflict)
-		return
+	case errors.Is(err, errNoShard):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
-	http.Error(w, err.Error(), http.StatusInternalServerError)
 }

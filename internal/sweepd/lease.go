@@ -18,8 +18,17 @@ import (
 // ErrLeaseLost is returned (and served as HTTP 409) when a renew,
 // report, or complete arrives under a token that is stale or expired:
 // the shard has been, or is about to be, reassigned. The worker's only
-// correct move is to abandon the shard and claim again.
+// correct move is to abandon the shard and claim again. Tokens embed
+// the coordinator's fencing epoch (token = epoch<<32 | seq), so a
+// worker that outlived a coordinator crash lands here too — its
+// pre-crash token can never equal one the restarted coordinator
+// issues.
 var ErrLeaseLost = errors.New("sweepd: lease lost")
+
+// errNoShard is returned (and served as HTTP 400) when a lease-scoped
+// call names a shard index outside the table: a malformed or
+// cross-sweep request, not a lease race — retrying cannot help.
+var errNoShard = errors.New("sweepd: no such shard")
 
 type shardState int
 
@@ -40,26 +49,35 @@ type shardLease struct {
 // leaseTable tracks shard assignment. All methods are safe for
 // concurrent use.
 type leaseTable struct {
-	mu        sync.Mutex
-	now       func() time.Time
-	ttl       time.Duration
-	shards    []shardLease
-	done      int
-	nextToken int64
-	lastSeen  map[string]time.Time
+	mu       sync.Mutex
+	now      func() time.Time
+	ttl      time.Duration
+	epoch    uint32
+	shards   []shardLease
+	done     int
+	nextSeq  int64
+	lastSeen map[string]time.Time
 }
 
-func newLeaseTable(shards int, ttl time.Duration, now func() time.Time) *leaseTable {
+// newLeaseTable builds the table. epoch fences tokens across
+// coordinator incarnations: tokens are epoch<<32 | seq, so two tables
+// with different epochs can never issue colliding tokens (epoch 0 —
+// no journal — degrades to the plain sequence).
+func newLeaseTable(shards int, ttl time.Duration, now func() time.Time, epoch uint32) *leaseTable {
 	if now == nil {
 		now = time.Now
 	}
 	return &leaseTable{
 		now:      now,
 		ttl:      ttl,
+		epoch:    epoch,
 		shards:   make([]shardLease, shards),
 		lastSeen: make(map[string]time.Time),
 	}
 }
+
+// Epoch returns the table's fencing epoch.
+func (t *leaseTable) Epoch() uint32 { return t.epoch }
 
 // Claim leases the lowest-numbered claimable shard to worker. ok is
 // false when nothing is claimable — either every shard is done (check
@@ -78,11 +96,11 @@ func (t *leaseTable) Claim(worker string) (shard int, token int64, reassigned bo
 		if !claimable {
 			continue
 		}
-		t.nextToken++
+		t.nextSeq++
 		reassigned = s.assigns > 0
 		s.state = shardLeased
 		s.worker = worker
-		s.token = t.nextToken
+		s.token = int64(t.epoch)<<32 | t.nextSeq
 		s.expiry = now.Add(t.ttl)
 		s.assigns++
 		return i, s.token, reassigned, true
@@ -123,7 +141,7 @@ func (t *leaseTable) Complete(worker string, shard int, token int64) error {
 // caller holds t.mu.
 func (t *leaseTable) holding(shard int, token int64, now time.Time) (*shardLease, error) {
 	if shard < 0 || shard >= len(t.shards) {
-		return nil, fmt.Errorf("sweepd: no shard %d", shard)
+		return nil, fmt.Errorf("%w: shard %d of %d", errNoShard, shard, len(t.shards))
 	}
 	s := &t.shards[shard]
 	if s.state != shardLeased || s.token != token || now.After(s.expiry) {

@@ -23,7 +23,7 @@ func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
 
 func TestLeaseClaimAssignsLowestShard(t *testing.T) {
 	clk := newFakeClock()
-	lt := newLeaseTable(3, time.Minute, clk.Now)
+	lt := newLeaseTable(3, time.Minute, clk.Now, 0)
 
 	shard, tok, reassigned, ok := lt.Claim("a")
 	if !ok || shard != 0 || reassigned {
@@ -47,7 +47,7 @@ func TestLeaseClaimAssignsLowestShard(t *testing.T) {
 func TestLeaseExpiryReassigns(t *testing.T) {
 	clk := newFakeClock()
 	ttl := time.Minute
-	lt := newLeaseTable(1, ttl, clk.Now)
+	lt := newLeaseTable(1, ttl, clk.Now, 0)
 
 	shard, tok, _, ok := lt.Claim("dead")
 	if !ok {
@@ -90,7 +90,7 @@ func TestLeaseExpiryReassigns(t *testing.T) {
 func TestLeaseRenewExtends(t *testing.T) {
 	clk := newFakeClock()
 	ttl := time.Minute
-	lt := newLeaseTable(1, ttl, clk.Now)
+	lt := newLeaseTable(1, ttl, clk.Now, 0)
 
 	shard, tok, _, _ := lt.Claim("w")
 	// Keep renewing at half-TTL strides: the lease never expires even
@@ -114,7 +114,7 @@ func TestLeaseRenewExtends(t *testing.T) {
 func TestLeaseExpiredCompleteRefused(t *testing.T) {
 	clk := newFakeClock()
 	ttl := time.Minute
-	lt := newLeaseTable(1, ttl, clk.Now)
+	lt := newLeaseTable(1, ttl, clk.Now, 0)
 
 	shard, tok, _, _ := lt.Claim("slow")
 	clk.Advance(ttl + time.Second)
@@ -132,7 +132,7 @@ func TestLeaseExpiredCompleteRefused(t *testing.T) {
 func TestLeaseCountsAndLiveness(t *testing.T) {
 	clk := newFakeClock()
 	ttl := time.Minute
-	lt := newLeaseTable(3, ttl, clk.Now)
+	lt := newLeaseTable(3, ttl, clk.Now, 0)
 
 	s0, t0, _, _ := lt.Claim("a")
 	lt.Claim("b")

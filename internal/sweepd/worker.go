@@ -36,7 +36,9 @@ type WorkerOptions struct {
 	// Progress are owned by the worker loop (results belong to the
 	// coordinator's store).
 	Opts sweep.Options
-	// Client is the HTTP client (nil: 30 s timeout).
+	// Client is the HTTP client (nil: a default client with no blanket
+	// Timeout — deadlines are per request, per endpoint; see
+	// CallTimeout and ReportTimeout).
 	Client *http.Client
 	// Retries is how many times a transient coordinator failure is
 	// retried per call (0: 5).
@@ -47,6 +49,17 @@ type WorkerOptions struct {
 	// Poll is the idle claim interval when the server sends no hint
 	// (0: 500 ms).
 	Poll time.Duration
+	// CallTimeout bounds one attempt of a control call — claim,
+	// heartbeat, complete (0: DefaultCallTimeout).
+	CallTimeout time.Duration
+	// ReportTimeout bounds one attempt of a /report, which may stream a
+	// large record batch (0: DefaultReportTimeout). The old blanket
+	// client timeout could kill a legitimate slow report.
+	ReportTimeout time.Duration
+	// MaxOffline is how long the worker keeps polling an unreachable
+	// coordinator before draining and exiting resumably (0: 90 s;
+	// negative: forever).
+	MaxOffline time.Duration
 
 	// OnOutcome, when non-nil, observes every job outcome the worker
 	// produces, before it is reported (tests and progress displays).
@@ -71,24 +84,14 @@ func NewWorker(o WorkerOptions) *Worker {
 		}
 		o.Name = fmt.Sprintf("%s.%d", host, os.Getpid())
 	}
-	if o.Client == nil {
-		o.Client = &http.Client{Timeout: 30 * time.Second}
-	}
-	if o.Retries <= 0 {
-		o.Retries = 5
-	}
-	if o.Backoff <= 0 {
-		o.Backoff = 200 * time.Millisecond
-	}
 	if o.Poll <= 0 {
 		o.Poll = 500 * time.Millisecond
 	}
-	return &Worker{o: o, c: &client{
-		base:    o.Coordinator,
-		hc:      o.Client,
-		retries: o.Retries,
-		backoff: o.Backoff,
-	}}
+	if o.MaxOffline == 0 {
+		o.MaxOffline = 90 * time.Second
+	}
+	return &Worker{o: o, c: newClient(o.Coordinator, o.Client,
+		o.Retries, o.Backoff, o.CallTimeout, o.ReportTimeout, o.Opts.Telemetry)}
 }
 
 // Name returns the worker's lease identity.
@@ -103,17 +106,40 @@ func (w *Worker) ShardsCompleted() int {
 
 // Run claims and executes shards until the coordinator reports the
 // sweep done (returns nil), ctx is canceled (returns ctx's error after
-// draining the current shard), or the coordinator becomes unreachable
-// past the retry budget.
+// draining the current shard), or the coordinator stays unreachable
+// past MaxOffline — in which case Run returns an error wrapping
+// ErrUnreachable after draining, and a later restart of the same
+// worker resumes cleanly: all sweep state lives with the coordinator.
 func (w *Worker) Run(ctx context.Context) error {
+	var offlineSince time.Time
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		var resp ClaimResponse
 		if err := w.c.post(ctx, "/claim", ClaimRequest{Worker: w.o.Name}, &resp); err != nil {
-			return fmt.Errorf("sweepd: claim: %w", err)
+			if !isUnreachable(err) {
+				return fmt.Errorf("sweepd: claim: %w", err)
+			}
+			// The coordinator may be mid-restart (crash recovery):
+			// keep polling inside the offline budget, give up — with
+			// everything already reported safe in its store — past it.
+			now := time.Now()
+			if offlineSince.IsZero() {
+				offlineSince = now
+			}
+			if w.o.MaxOffline >= 0 && now.Sub(offlineSince) > w.o.MaxOffline {
+				return fmt.Errorf("sweepd: coordinator offline for %s: %w",
+					now.Sub(offlineSince).Round(time.Second), ErrUnreachable)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.o.Poll):
+			}
+			continue
 		}
+		offlineSince = time.Time{}
 		switch {
 		case resp.Done:
 			return nil
@@ -135,17 +161,26 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
-// runShard executes one claimed shard. Lease loss is not an error — the
-// shard is abandoned mid-drain and the loop claims again; only ctx
-// cancellation and unreachable-coordinator failures propagate.
+// runShard executes one claimed shard. Neither lease loss nor an
+// unreachable coordinator is an error here — both abandon the shard
+// mid-drain and send the loop back to claiming (where the offline
+// budget decides whether to keep polling); only ctx cancellation
+// propagates. Records that could not be delivered are simply never
+// accounted: the shard's lease expires and the work reassigns.
 func (w *Worker) runShard(ctx context.Context, shard *ShardClaim) error {
 	shardCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	var lost atomic.Bool
+	var lost, offline atomic.Bool
 	abandon := func(err error) {
 		if isLeaseLost(err) {
 			lost.Store(true)
+			cancel()
+		}
+		if isUnreachable(err) {
+			// Burning CPU on jobs whose records cannot be delivered is
+			// pointless; drain and let the claim loop wait it out.
+			offline.Store(true)
 			cancel()
 		}
 	}
@@ -244,9 +279,9 @@ func (w *Worker) runShard(ctx context.Context, shard *ShardClaim) error {
 	close(hbStop)
 	hbWG.Wait()
 
-	if lost.Load() {
-		// The lease moved on; whatever we reported is deduped, the rest
-		// reassigns. Back to claiming.
+	if lost.Load() || offline.Load() {
+		// The lease moved on (or the coordinator did): whatever we
+		// reported is deduped, the rest reassigns. Back to claiming.
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -261,7 +296,10 @@ func (w *Worker) runShard(ctx context.Context, shard *ShardClaim) error {
 		Worker: w.o.Name, Shard: shard.ID, Lease: shard.Lease,
 	}, &OKResponse{})
 	if err != nil {
-		if isLeaseLost(err) {
+		if isLeaseLost(err) || isUnreachable(err) {
+			// An undeliverable complete is safe to walk away from: the
+			// lease expires and the next claimant finds every job
+			// reported, auto-completing the shard without recompute.
 			return nil
 		}
 		return fmt.Errorf("sweepd: complete shard %d: %w", shard.ID, err)
