@@ -30,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -37,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/sweepd"
@@ -59,6 +61,7 @@ func run() int {
 		retries    = flag.Int("retries", 0, "transient coordinator-call retries per request (0 = default)")
 		backoff    = flag.Duration("backoff", 0, "first retry delay, doubled per attempt (0 = default)")
 		maxOffline = flag.Duration("max-offline", 0, "drain and exit after the coordinator is unreachable this long (0 = 90s, negative = wait forever)")
+		chaosDelay = flag.Duration("chaos-delay", 0, "inject a random delay up to this duration before every coordinator call (straggler simulation; 0 = off)")
 
 		// Coordinator mode: the grid (cmd/sweep's vocabulary).
 		specPath = flag.String("spec", "", "JSON spec file (grid flags below are ignored when set)")
@@ -81,6 +84,9 @@ func run() int {
 		journal    = flag.String("journal", "", "coordinator crash-recovery journal (default: <store>.journal; \"off\" disables epoch fencing)")
 		shards     = flag.Int("shards", 0, "content-key-range shard count (0 = default)")
 		lease      = flag.Duration("lease", 0, "lease TTL before a silent worker's shard reassigns (0 = default)")
+		steal      = flag.String("steal", "", "work stealing: split straggling shards for idle workers, \"on\" or \"off\" (default: $REPRO_STEAL)")
+		stealMin   = flag.Int("steal-min", 0, "minimum unreported jobs a shard must hold to be split (0 = default)")
+		stealAfter = flag.Duration("steal-after", 0, "how long a shard may stall before it is steal-eligible (0 = half the lease TTL)")
 		httpAddr   = flag.String("http", ":9900", "coordinator listen address")
 		runlogPath = flag.String("runlog", "", "JSONL run-log path (default: <store>.runlog; \"off\" disables)")
 		telePath   = flag.String("telemetry", "", "write the final coordinator status (JSON) to this file")
@@ -106,6 +112,7 @@ func run() int {
 			url: *workerURL, name: *name, workers: *workers, runWorkers: *runWorkers,
 			cacheCap: *cacheCap, netstore: *netstore, batch: *batch,
 			retries: *retries, backoff: *backoff, maxOffline: *maxOffline,
+			chaosDelay: *chaosDelay,
 		})
 	}
 	return runCoordinator(ctx, coordinatorConfig{
@@ -114,6 +121,7 @@ func run() int {
 		churns: *churns, faults: *faults, joins: *joins, losses: *losses,
 		trials: *trials, seed: *seed,
 		storePath: *storePath, journalPath: *journal, shards: *shards, lease: *lease,
+		steal: *steal, stealMin: *stealMin, stealAfter: *stealAfter,
 		httpAddr: *httpAddr, runlogPath: *runlogPath, telePath: *telePath,
 		format: *format, outPath: *outPath, quiet: *quiet,
 	})
@@ -126,6 +134,7 @@ type workerConfig struct {
 	netstore, batch     string
 	retries             int
 	backoff, maxOffline time.Duration
+	chaosDelay          time.Duration
 }
 
 func runWorker(ctx context.Context, cfg workerConfig) int {
@@ -146,10 +155,22 @@ func runWorker(ctx context.Context, cfg workerConfig) int {
 		}
 		opts.Batch = width
 	}
+	var hc *http.Client
+	if cfg.chaosDelay > 0 {
+		// A degraded machine, on demand: every coordinator call waits a
+		// seeded-random slice of -chaos-delay first, so this worker
+		// claims, reports, and heartbeats like a straggler. CI's steal
+		// smoke leg uses it to force a shard split deterministically.
+		hc = &http.Client{Transport: &chaos.Transport{
+			Plan: chaos.NetPlan{Seed: 1, Delay: 1, MaxDelay: cfg.chaosDelay},
+		}}
+		fmt.Fprintf(os.Stderr, "chaos: delaying every coordinator call by up to %s\n", cfg.chaosDelay)
+	}
 	w := sweepd.NewWorker(sweepd.WorkerOptions{
 		Coordinator: cfg.url,
 		Name:        cfg.name,
 		Opts:        opts,
+		Client:      hc,
 		Retries:     cfg.retries,
 		Backoff:     cfg.backoff,
 		MaxOffline:  cfg.maxOffline,
@@ -181,6 +202,9 @@ type coordinatorConfig struct {
 	storePath, journalPath                                         string
 	shards                                                         int
 	lease                                                          time.Duration
+	steal                                                          string
+	stealMin                                                       int
+	stealAfter                                                     time.Duration
 	httpAddr, runlogPath, telePath, format, outPath                string
 	quiet                                                          bool
 }
@@ -255,19 +279,33 @@ func runCoordinator(ctx context.Context, cfg coordinatorConfig) int {
 		}
 	}
 
+	stealOn := sweepd.EnvSteal()
+	if cfg.steal != "" {
+		stealOn, err = sweepd.ResolveSteal(cfg.steal)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
 	mon := sweep.NewMonitor(spec.Name, len(jobs), nil, nil)
 	mon.SetExpand(expand)
 	coord, err := sweepd.NewCoordinator(jobs, sweepd.Config{
-		Name:     spec.Name,
-		Store:    store,
-		Shards:   cfg.shards,
-		LeaseTTL: cfg.lease,
-		Monitor:  mon,
-		RunLog:   runlog,
-		Journal:  journal,
+		Name:       spec.Name,
+		Store:      store,
+		Shards:     cfg.shards,
+		LeaseTTL:   cfg.lease,
+		Monitor:    mon,
+		RunLog:     runlog,
+		Journal:    journal,
+		Steal:      stealOn,
+		StealMin:   cfg.stealMin,
+		StealAfter: cfg.stealAfter,
 	})
 	if err != nil {
 		return fail(err)
+	}
+	if stealOn {
+		fmt.Fprintln(os.Stderr, "work stealing on: straggling shards split for idle workers")
 	}
 	if journal != nil {
 		fmt.Fprintf(os.Stderr, "journal %s (epoch %d): a restarted coordinator resumes this sweep and fences stale leases\n",
@@ -328,6 +366,10 @@ func runCoordinator(ctx context.Context, cfg coordinatorConfig) int {
 	fmt.Fprintf(os.Stderr, "fleet ran %d, resumed %d, errors %d\n", ran, resumed, coord.Errors())
 	if ran > 0 {
 		fmt.Fprint(os.Stderr, mon.Breakdown())
+	}
+	if st := coord.Status(); st.Shards.Split > 0 || st.Shards.StealsRejected > 0 {
+		fmt.Fprintf(os.Stderr, "  steals: %d shards split, %d jobs stolen, %d evaluations declined\n",
+			st.Shards.Split, st.Shards.JobsStolen, st.Shards.StealsRejected)
 	}
 	writeStatus()
 

@@ -1,9 +1,10 @@
 package obs
 
 // runlog.go is the structured JSONL run-log: one line per scheduler
-// lifecycle event (sweep start/end, job start/finish/skip), written
-// beside the result store so a sweep's execution history travels with
-// its results. The format matches the result store's durability
+// lifecycle event (sweep start/end, job start/finish/skip/drop, and —
+// under a sweepd coordinator — shard splits from work stealing),
+// written beside the result store so a sweep's execution history
+// travels with its results. The format matches the result store's durability
 // contract: O_APPEND opens, one Write per line, unparseable lines are
 // the reader's problem to skip — so a run-log survives the same crashes
 // the store does and concatenates across resumed runs.
@@ -27,7 +28,9 @@ type RunEvent struct {
 	// end).
 	TimeMS float64 `json:"ts_ms"`
 	// Event names the lifecycle step: sweep_start, job_start, job_done,
-	// job_skip, sweep_end.
+	// job_skip, job_drop (a worker shedding a job stolen from its
+	// shard), shard_split (a sweepd coordinator cutting a straggler's
+	// remainder for an idle worker), sweep_end.
 	Event  string         `json:"event"`
 	Fields map[string]any `json:"fields,omitempty"`
 }

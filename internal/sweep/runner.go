@@ -62,6 +62,15 @@ type Options struct {
 	// per-job Observer disables batching, and occupancy-recording jobs
 	// fall back to the scalar engine individually.
 	Batch int
+	// Drop, when non-nil, is consulted immediately before a pending job
+	// would execute; returning true abandons the job without running
+	// it. The outcome is marked Dropped (no Summary, no store write, no
+	// error — the job simply ceased to be this scheduler's problem) and
+	// Progress still fires so callers see the slot accounted. sweepd
+	// workers use it to shed jobs the coordinator stole from their
+	// shard mid-run; a nil Drop leaves the scheduler byte-identical to
+	// its pre-Drop behavior.
+	Drop func(Job) bool
 }
 
 // StageTimes partitions one job's wall-clock time across the runner's
@@ -95,7 +104,10 @@ type Outcome struct {
 	Summary metrics.Summary
 	// FromStore marks jobs satisfied by the result store without running.
 	FromStore bool
-	Err       error
+	// Dropped marks jobs abandoned unrun by Options.Drop (a sweepd
+	// worker shedding stolen work). No Summary, no Err.
+	Dropped bool
+	Err     error
 
 	// Stages partitions the job's wall time (zero for store hits), and
 	// CacheTier records how its topology was obtained — TierMem, TierDisk,
@@ -266,6 +278,28 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error
 				}
 			}()
 			for item := range work {
+				// Shed dropped jobs at dispatch, not at plan time: a Drop
+				// verdict can arrive (a steal notification) between the
+				// batch plan and this item's turn on the worker.
+				if opts.Drop != nil {
+					kept := item[:0]
+					for _, i := range item {
+						if opts.Drop(jobs[i]) {
+							executed[i] = true
+							outs[i] = Outcome{Job: jobs[i], Dropped: true, Worker: -1}
+							_ = opts.RunLog.Event("job_drop", map[string]any{
+								"key": jobs[i].Key(), "label": jobs[i].Label(),
+							})
+							report(i)
+							continue
+						}
+						kept = append(kept, i)
+					}
+					item = kept
+					if len(item) == 0 {
+						continue
+					}
+				}
 				for _, i := range item {
 					executed[i] = true
 					_ = opts.RunLog.Event("job_start", map[string]any{

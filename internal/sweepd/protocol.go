@@ -54,11 +54,26 @@ type ShardClaim struct {
 }
 
 // HeartbeatRequest renews a lease. Reports renew implicitly; explicit
-// heartbeats cover jobs that run longer than the TTL.
+// heartbeats cover jobs that run longer than the TTL. Done/Total carry
+// the worker's per-shard progress (jobs finished locally vs. jobs in
+// the claim) so the coordinator can see staleness before the lease
+// lapses; zero values mean "not reported" and are omitted on the wire,
+// keeping pre-progress workers' requests byte-identical.
 type HeartbeatRequest struct {
 	Worker string `json:"worker"`
 	Shard  int    `json:"shard"`
 	Lease  int64  `json:"lease"`
+	Done   int    `json:"done,omitempty"`
+	Total  int    `json:"total,omitempty"`
+}
+
+// HeartbeatResponse acknowledges a renewal. StolenKeys lists job keys
+// the coordinator has cut out of the shard since the claim (work
+// stealing); the worker should shed them unrun. Empty when stealing is
+// off, which keeps the body identical to the old OKResponse bytes.
+type HeartbeatResponse struct {
+	OK         bool     `json:"ok"`
+	StolenKeys []string `json:"stolen_keys,omitempty"`
 }
 
 // JobError reports a job that executed and failed (as opposed to one
@@ -71,23 +86,33 @@ type JobError struct {
 
 // ReportRequest streams completed work back: records for jobs that
 // succeeded, errors for jobs that failed. A valid report renews the
-// shard's lease.
+// shard's lease. Done/Total piggyback the same per-shard progress as
+// HeartbeatRequest (omitted when zero).
 type ReportRequest struct {
 	Worker  string         `json:"worker"`
 	Shard   int            `json:"shard"`
 	Lease   int64          `json:"lease"`
 	Records []sweep.Record `json:"records,omitempty"`
 	Errors  []JobError     `json:"errors,omitempty"`
+	Done    int            `json:"done,omitempty"`
+	Total   int            `json:"total,omitempty"`
 }
 
 // ReportResponse accounts the report: Accepted records were appended to
 // the store, Duplicates were already there (a reassigned shard's first
 // worker got them in before dying), Rejected failed the key integrity
-// check (Record.Key must equal Record.Job.Key()).
+// check (Record.Key must equal Record.Job.Key()). Stolen counts records
+// for jobs cut out of this shard by a steal — the record was not
+// accepted under this shard (the thief owns the job now; if the thief
+// already reported it the result deduped instead), and StolenKeys names
+// every such key so the victim can stop running the rest of the stolen
+// suffix.
 type ReportResponse struct {
-	Accepted   int `json:"accepted"`
-	Duplicates int `json:"duplicates,omitempty"`
-	Rejected   int `json:"rejected,omitempty"`
+	Accepted   int      `json:"accepted"`
+	Duplicates int      `json:"duplicates,omitempty"`
+	Rejected   int      `json:"rejected,omitempty"`
+	Stolen     int      `json:"stolen,omitempty"`
+	StolenKeys []string `json:"stolen_keys,omitempty"`
 }
 
 // CompleteRequest marks a shard finished. The coordinator verifies every
